@@ -1,0 +1,55 @@
+package memsim_test
+
+import (
+	"testing"
+
+	"memsim"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	w := memsim.GaussWorkload(4, 16, 3)
+	cfg := memsim.Config{Model: memsim.WO1, CacheSize: 1 << 10, LineSize: 16}
+	res, err := memsim.Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.Instructions() == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.Config.Procs != 4 {
+		t.Errorf("Procs not adopted from workload: %d", res.Config.Procs)
+	}
+}
+
+func TestPublicAPIAllBenchmarks(t *testing.T) {
+	cases := []memsim.Workload{
+		memsim.GaussWorkload(4, 12, 1),
+		memsim.QsortWorkload(4, 200, 1),
+		memsim.RelaxWorkload(4, 8, 1, memsim.RelaxDefault, 1),
+		memsim.PsimWorkload(4, 16, 4, 1),
+	}
+	for _, w := range cases {
+		cfg := memsim.Config{Model: memsim.RC, CacheSize: 1 << 10, LineSize: 8}
+		if _, err := memsim.Run(cfg, w); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	m, err := memsim.ParseModel("rc")
+	if err != nil || m != memsim.RC {
+		t.Fatalf("ParseModel(rc) = %v, %v", m, err)
+	}
+	if len(memsim.Models) != 7 {
+		t.Errorf("Models has %d entries, want 7", len(memsim.Models))
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	w := memsim.GaussWorkload(4, 12, 1)
+	cfg := memsim.Config{Model: memsim.SC1, CacheSize: 1000, LineSize: 48}
+	if _, err := memsim.Run(cfg, w); err == nil {
+		t.Error("invalid line size accepted")
+	}
+}

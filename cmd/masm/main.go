@@ -1,0 +1,74 @@
+// masm assembles and disassembles programs for the memsim ISA.
+//
+// Usage:
+//
+//	masm -in prog.masm -out prog.bin        # assemble to binary
+//	masm -d -in prog.bin                    # disassemble to stdout
+//	masm -in prog.masm                      # assemble, print listing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"memsim/internal/asm"
+	"memsim/internal/isa"
+)
+
+func main() {
+	var (
+		in    = flag.String("in", "", "input file (default stdin)")
+		out   = flag.String("out", "", "output file (default stdout listing)")
+		disas = flag.Bool("d", false, "disassemble binary input")
+	)
+	flag.Parse()
+
+	src, err := readInput(*in)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *disas {
+		prog, err := isa.DecodeProgram(src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(asm.Disassemble(prog))
+		return
+	}
+
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, isa.EncodeProgram(prog), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "masm: wrote %d instructions (%d bytes)\n",
+			len(prog), len(prog)*isa.InstBytes)
+		return
+	}
+	fmt.Print(asm.Disassemble(prog))
+}
+
+func readInput(path string) ([]byte, error) {
+	if path == "" {
+		var buf []byte
+		tmp := make([]byte, 64<<10)
+		for {
+			n, err := os.Stdin.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				return buf, nil
+			}
+		}
+	}
+	return os.ReadFile(path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "masm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,165 @@
+// mcsim runs one benchmark on one simulated machine configuration and
+// prints the measurements.
+//
+// Usage:
+//
+//	mcsim -bench gauss -model WO1 -procs 16 -cache 16384 -line 16
+//	mcsim -bench relax -sched miss-first -model SC1
+//	mcsim -bench qsort -n 20000 -model RC -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"memsim"
+	"memsim/internal/machine"
+	"memsim/internal/trace"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "gauss", "benchmark: gauss, qsort, relax, psim")
+		model = flag.String("model", "SC1", "consistency model: SC1, SC2, WO1, WO2, RC, bSC1, bWO1")
+		procs = flag.Int("procs", 16, "number of processors")
+		cache = flag.Int("cache", 16<<10, "cache size in bytes")
+		line  = flag.Int("line", 16, "cache line size in bytes")
+		delay = flag.Int("delay", 4, "load/branch delay in cycles")
+		n     = flag.Int("n", 0, "problem size (0: benchmark default)")
+		iters = flag.Int("iters", 2, "relax iterations")
+		sched = flag.String("sched", "default", "relax schedule: default, miss-first, miss-last")
+		seed  = flag.Int64("seed", 1992, "workload seed")
+		vflag = flag.Bool("v", false, "print per-processor detail")
+		trc   = flag.Int("trace", 0, "dump the last N coherence-protocol events")
+	)
+	flag.Parse()
+
+	m, err := memsim.ParseModel(*model)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := buildWorkload(*bench, *procs, *n, *iters, *sched, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := memsim.Config{
+		Procs:     *procs,
+		Model:     m,
+		CacheSize: *cache,
+		LineSize:  *line,
+		LoadDelay: *delay,
+	}
+	var rec *trace.Recorder
+	if *trc > 0 {
+		rec = trace.New(*trc)
+	}
+	res, err := run(cfg, w, rec)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s on %s: procs=%d cache=%dK line=%dB delay=%d\n",
+		w.Name, m, *procs, *cache>>10, *line, *delay)
+	fmt.Printf("  run time        %12d cycles\n", res.Cycles)
+	fmt.Printf("  instructions    %12d\n", res.Instructions())
+	fmt.Printf("  shared reads    %12d  (hit %5.1f%%)\n", res.TotalReads(), 100*res.ReadHitRate())
+	fmt.Printf("  shared writes   %12d  (hit %5.1f%%)\n", res.TotalWrites(), 100*res.WriteHitRate())
+	fmt.Printf("  overall hits    %17.1f%%\n", 100*res.HitRate())
+	fmt.Printf("  invalidation miss fraction %6.1f%%\n", 100*res.InvalidationMissFraction())
+	fmt.Printf("  sync operations %12d\n", res.SyncOps())
+	fmt.Printf("  module util spread %9.2fx\n", res.ModuleUtilizationSpread())
+	fmt.Printf("  request net: %d msgs, %d bypasses; response net: %d msgs\n",
+		res.ReqNet.Messages, res.ReqNet.Bypasses, res.RespNet.Messages)
+
+	if rec != nil {
+		fmt.Printf("\nlast %d of %d protocol events:\n%s", len(rec.Events()), rec.Total(), rec.Dump())
+	}
+
+	if *vflag {
+		fmt.Println("  per processor:")
+		for i, c := range res.CPUs {
+			fmt.Printf("   cpu%-2d instr=%-9d sync=%-7d stalls: interlock=%d outstanding=%d conflict=%d drain=%d sync=%d blocking=%d\n",
+				i, c.Instructions, c.SyncOps,
+				c.StallInterlock, c.StallOutstanding, c.StallConflict,
+				c.StallDrain, c.StallSync, c.StallBlocking)
+		}
+	}
+}
+
+// run executes the workload, optionally with a protocol tracer.
+func run(cfg memsim.Config, w memsim.Workload, rec *trace.Recorder) (memsim.Result, error) {
+	if cfg.Procs == 0 {
+		cfg.Procs = w.Procs
+	}
+	if cfg.SharedWords == 0 {
+		cfg.SharedWords = w.SharedWords
+	}
+	m, err := machine.New(cfg, w.Programs)
+	if err != nil {
+		return memsim.Result{}, err
+	}
+	if rec != nil {
+		m.AttachTracer(rec)
+	}
+	if w.Setup != nil {
+		w.Setup(m.Shared())
+	}
+	res, err := m.Run(0)
+	if err != nil {
+		return res, err
+	}
+	if w.Validate != nil {
+		if err := w.Validate(m.Shared()); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+func buildWorkload(bench string, procs, n, iters int, sched string, seed int64) (memsim.Workload, error) {
+	switch bench {
+	case "gauss":
+		if n == 0 {
+			n = 96
+		}
+		return memsim.GaussWorkload(procs, n, seed), nil
+	case "qsort":
+		if n == 0 {
+			n = 6000
+		}
+		return memsim.QsortWorkload(procs, n, seed), nil
+	case "relax":
+		if n == 0 {
+			n = 64
+		}
+		s, err := parseSched(sched)
+		if err != nil {
+			return memsim.Workload{}, err
+		}
+		return memsim.RelaxWorkload(procs, n, iters, s, seed), nil
+	case "psim":
+		if n == 0 {
+			n = 48
+		}
+		return memsim.PsimWorkload(procs, 64, n, seed), nil
+	}
+	return memsim.Workload{}, fmt.Errorf("unknown benchmark %q", bench)
+}
+
+func parseSched(s string) (memsim.RelaxSchedule, error) {
+	switch s {
+	case "default":
+		return memsim.RelaxDefault, nil
+	case "miss-first":
+		return memsim.RelaxMissFirst, nil
+	case "miss-last":
+		return memsim.RelaxMissLast, nil
+	}
+	return 0, fmt.Errorf("unknown schedule %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,153 @@
+// sweep regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sweep -all                       # every table and figure, scaled preset
+//	sweep -exp f4,f9 -preset quick   # selected experiments
+//	sweep -all -preset paper         # the original sizes (very slow)
+//	sweep -all -out EXPERIMENTS.out  # also write the report to a file
+//
+// Experiments: t2 (Table 2 + appendix), f2, f4, f5, f6, f7, f8, f9,
+// t3-6 (the delay-sensitivity tables), plus the extension ablations
+// rwo (read-with-ownership Qsort) and mshr (WO1 MSHR-count sweep).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"memsim/internal/experiments"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "run every experiment")
+		exp    = flag.String("exp", "", "comma-separated experiment ids (t2,f2,f4,f5,f6,f7,f8,f9,t3-6)")
+		preset = flag.String("preset", "scaled", "parameter preset: quick, scaled, paper")
+		outF   = flag.String("out", "", "also write the report to this file")
+		mdF    = flag.String("md", "", "write the full EXPERIMENTS.md-style report to this file")
+		quiet  = flag.Bool("q", false, "suppress per-run progress")
+	)
+	flag.Parse()
+
+	var params experiments.Params
+	switch *preset {
+	case "quick":
+		params = experiments.Quick()
+	case "scaled":
+		params = experiments.Scaled()
+	case "paper":
+		params = experiments.Paper()
+	default:
+		fatal(fmt.Errorf("unknown preset %q", *preset))
+	}
+
+	if *mdF != "" {
+		r := experiments.NewRunner(params)
+		if !*quiet {
+			r.Log = os.Stderr
+		}
+		f, err := os.Create(*mdF)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiments.WriteMarkdown(f, r, time.Now()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: wrote %s\n", *mdF)
+		if !*all && *exp == "" {
+			return
+		}
+	}
+
+	ids := []string{}
+	if *all {
+		ids = []string{"t2", "f2", "f4", "f5", "f6", "f7", "f8", "f9", "t3-6", "rwo", "mshr"}
+	} else if *exp != "" {
+		ids = strings.Split(*exp, ",")
+	} else {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	r := experiments.NewRunner(params)
+	if !*quiet {
+		r.Log = os.Stderr
+	}
+
+	var report strings.Builder
+	for _, id := range ids {
+		s, err := runOne(r, strings.TrimSpace(id))
+		if err != nil {
+			fatal(err)
+		}
+		report.WriteString(s)
+		report.WriteString("\n")
+		fmt.Println(s)
+	}
+	if *outF != "" {
+		if err := os.WriteFile(*outF, []byte(report.String()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func runOne(r *experiments.Runner, id string) (string, error) {
+	switch id {
+	case "t2":
+		t, err := experiments.RunTable2(r)
+		return stringify(t, err)
+	case "f2":
+		f, err := experiments.RunFigure2(r)
+		return stringify(f, err)
+	case "f4":
+		f, err := experiments.RunFigure4(r)
+		return stringify(f, err)
+	case "f5":
+		f, err := experiments.RunFigure5(r)
+		return stringify(f, err)
+	case "f6":
+		small, large, err := experiments.RunFigure6(r)
+		if err != nil {
+			return "", err
+		}
+		return small.String() + "\n" + large.String(), nil
+	case "f7":
+		f, err := experiments.RunFigure7(r)
+		return stringify(f, err)
+	case "f8":
+		f, err := experiments.RunFigure8(r)
+		return stringify(f, err)
+	case "f9":
+		f, err := experiments.RunFigure9(r)
+		return stringify(f, err)
+	case "t3-6":
+		t, err := experiments.RunTables3to6(r)
+		return stringify(t, err)
+	case "rwo":
+		a, err := experiments.RunAblationRWO(r)
+		return stringify(a, err)
+	case "mshr":
+		a, err := experiments.RunAblationMSHR(r)
+		return stringify(a, err)
+	}
+	return "", fmt.Errorf("unknown experiment %q", id)
+}
+
+func stringify(s fmt.Stringer, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return s.String(), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

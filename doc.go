@@ -1,0 +1,36 @@
+// Package memsim is an instruction-level simulator for studying memory
+// consistency models in shared-memory multiprocessors. It reproduces
+// the system and evaluation of Zucker & Baer, "A Performance Study of
+// Memory Consistency Models" (Univ. of Washington TR 92-01-02 /
+// ISCA 1992).
+//
+// The simulated machine is a "dance-hall" multiprocessor: N RISC
+// processors, each with a private two-way set-associative write-back
+// cache for shared data, connected to N interleaved global memory
+// modules through two Omega networks built from 4x4 switches. Cache
+// coherence uses a full-map directory. Seven consistency-model
+// implementations are provided: SC1 and SC2 (sequentially consistent,
+// the latter with hardware prefetch on stalls), WO1 and WO2 (weakly
+// ordered, the latter with load bypassing in the network interface),
+// RC (release consistent), and the blocking-load variants bSC1 and
+// bWO1.
+//
+// Quick start:
+//
+//	w := memsim.GaussWorkload(16, 96, 1)      // benchmark program
+//	cfg := memsim.Config{
+//		Procs:     16,
+//		Model:     memsim.WO1,
+//		CacheSize: 16 << 10,
+//		LineSize:  16,
+//	}
+//	res, err := memsim.Run(cfg, w)
+//	if err != nil { ... }
+//	fmt.Println(res.Cycles, res.HitRate())
+//
+// Custom programs are written against the ISA in internal/isa via the
+// builder in internal/progb; see examples/custom_workload. The
+// experiment drivers that regenerate every table and figure of the
+// paper live in internal/experiments and are exposed through the
+// cmd/sweep tool and the benchmarks in bench_test.go.
+package memsim

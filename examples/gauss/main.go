@@ -1,0 +1,59 @@
+// The paper's headline experiment in miniature: Gauss under every
+// consistency model at every line size, reported as percent gain over
+// SC1 (compare with the paper's Figure 4, leftmost panel).
+//
+//	go run ./examples/gauss
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memsim"
+)
+
+func main() {
+	const (
+		procs = 16
+		n     = 96
+		cache = 2 << 10 // deliberately smaller than the working set
+	)
+	lines := []int{8, 16, 64}
+	models := []memsim.Model{memsim.SC2, memsim.WO1, memsim.WO2, memsim.RC}
+
+	fmt.Printf("Gauss %dx%d, %d processors, %dK caches: %% gain over SC1\n",
+		n, n, procs, cache>>10)
+	fmt.Printf("%-6s", "model")
+	for _, line := range lines {
+		fmt.Printf(" %6dB", line)
+	}
+	fmt.Println()
+
+	base := map[int]memsim.Result{}
+	for _, line := range lines {
+		res, err := run(memsim.SC1, procs, n, cache, line)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base[line] = res
+	}
+	for _, model := range models {
+		fmt.Printf("%-6s", model)
+		for _, line := range lines {
+			res, err := run(model, procs, n, cache, line)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %6.1f%%", 100*res.GainOver(base[line]))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nExpect: largest gains at 8-byte lines (lowest hit rate),")
+	fmt.Println("WO1/WO2/RC close together, SC2 modest. See DESIGN.md §3.")
+}
+
+func run(model memsim.Model, procs, n, cache, line int) (memsim.Result, error) {
+	w := memsim.GaussWorkload(procs, n, 1992)
+	cfg := memsim.Config{Procs: procs, Model: model, CacheSize: cache, LineSize: line}
+	return memsim.Run(cfg, w)
+}

@@ -1,0 +1,45 @@
+// Quickstart: run one benchmark under sequential consistency and under
+// weak ordering, and report how much run time the relaxed model saves.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memsim"
+)
+
+func main() {
+	const procs = 8
+
+	// A small Relax instance: an 8-processor nine-point stencil.
+	w := memsim.RelaxWorkload(procs, 48, 2, memsim.RelaxDefault, 7)
+
+	cfg := memsim.Config{
+		Procs:     procs,
+		CacheSize: 4 << 10,
+		LineSize:  16,
+	}
+
+	cfg.Model = memsim.SC1
+	base, err := memsim.Run(cfg, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg.Model = memsim.WO1
+	relaxed, err := memsim.Run(cfg, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s, %d processors, %dK cache, %dB lines\n",
+		w.Name, procs, cfg.CacheSize>>10, cfg.LineSize)
+	fmt.Printf("  SC1 (sequentially consistent): %8d cycles, hit rate %.1f%%\n",
+		base.Cycles, 100*base.HitRate())
+	fmt.Printf("  WO1 (weakly ordered):          %8d cycles, hit rate %.1f%%\n",
+		relaxed.Cycles, 100*relaxed.HitRate())
+	fmt.Printf("  weak ordering is %.1f%% faster\n", 100*relaxed.GainOver(base))
+}

@@ -1,0 +1,3 @@
+module memsim
+
+go 1.22

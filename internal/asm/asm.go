@@ -1,0 +1,381 @@
+// Package asm is a two-pass text assembler (and disassembler) for the
+// simulator's ISA. It exists for the cmd/masm tool, for writing small
+// test programs by hand, and as executable documentation of the
+// instruction set.
+//
+// Syntax, one instruction per line:
+//
+//	; full-line or trailing comments with ';' or '#'
+//	start:                     ; labels end with ':'
+//	    li   r3, 0x100
+//	    lif  r4, 2.5           ; float64 immediate (pseudo for li)
+//	    ld   r5, 16(r3) !acquire
+//	    st   r5, 0(r3)  !release
+//	    tas  r6, 0(r3)  !sync
+//	    add  r5, r5, r3
+//	    beq  r5, r0, start
+//	    fence !sync
+//	    halt
+//
+// Branch targets are labels; `jr` takes a register. Memory operands
+// are written offset(base). The optional !plain/!acquire/!release/
+// !sync suffix sets the access class of ld/st/tas/fence.
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"memsim/internal/isa"
+)
+
+// Assemble parses a whole program.
+func Assemble(src string) ([]isa.Inst, error) {
+	type fixup struct {
+		pc    int
+		label string
+		line  int
+	}
+	var (
+		prog   []isa.Inst
+		labels = map[string]int{}
+		fixups []fixup
+	)
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		// Peel off any leading labels.
+		for {
+			line = strings.TrimSpace(line)
+			i := strings.Index(line, ":")
+			if i < 0 || strings.ContainsAny(line[:i], " \t,(") {
+				break
+			}
+			name := line[:i]
+			if !validLabel(name) {
+				return nil, fmt.Errorf("asm: line %d: invalid label %q", lineNo+1, name)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("asm: line %d: duplicate label %q", lineNo+1, name)
+			}
+			labels[name] = len(prog)
+			line = line[i+1:]
+		}
+		if line == "" {
+			continue
+		}
+		in, labelRef, err := parseInst(line)
+		if err != nil {
+			return nil, fmt.Errorf("asm: line %d: %w", lineNo+1, err)
+		}
+		if labelRef != "" {
+			fixups = append(fixups, fixup{len(prog), labelRef, lineNo + 1})
+		}
+		prog = append(prog, in)
+	}
+	for _, f := range fixups {
+		pc, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: line %d: undefined label %q", f.line, f.label)
+		}
+		prog[f.pc].Imm = int64(pc)
+	}
+	if err := isa.ValidateProgram(prog); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return prog, nil
+}
+
+// Disassemble renders a program, one instruction per line with its
+// index, in re-assemblable syntax (branch targets become labels).
+func Disassemble(prog []isa.Inst) string {
+	// Collect branch targets.
+	targets := map[int]string{}
+	for _, in := range prog {
+		if in.Op.IsBranch() && in.Op != isa.JR {
+			t := int(in.Imm)
+			if _, ok := targets[t]; !ok {
+				targets[t] = fmt.Sprintf("L%d", t)
+			}
+		}
+	}
+	var sb strings.Builder
+	for pc, in := range prog {
+		if lbl, ok := targets[pc]; ok {
+			fmt.Fprintf(&sb, "%s:\n", lbl)
+		}
+		s := in.String()
+		if in.Op.IsBranch() && in.Op != isa.JR {
+			// Replace the numeric target with the label.
+			if lbl, ok := targets[int(in.Imm)]; ok {
+				idx := strings.LastIndex(s, fmt.Sprintf("%d", in.Imm))
+				if idx >= 0 {
+					s = s[:idx] + lbl
+				}
+			}
+		}
+		fmt.Fprintf(&sb, "    %-30s ; %d\n", s, pc)
+	}
+	return sb.String()
+}
+
+func stripComment(s string) string {
+	if i := strings.IndexAny(s, ";#"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func validLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// opByName maps mnemonics (lowercase) to opcodes.
+var opByName = func() map[string]isa.Op {
+	m := make(map[string]isa.Op)
+	for op := isa.Op(0); ; op++ {
+		if !op.Valid() {
+			break
+		}
+		m[op.String()] = op
+	}
+	return m
+}()
+
+// parseInst parses one instruction; labelRef is non-empty when Imm
+// needs a label fixup.
+func parseInst(line string) (isa.Inst, string, error) {
+	fields := strings.Fields(line)
+	mnemonic := strings.ToLower(fields[0])
+	rest := strings.TrimSpace(line[len(fields[0]):])
+
+	// Trailing class annotation.
+	class := isa.ClassPlain
+	if i := strings.Index(rest, "!"); i >= 0 {
+		cname := strings.TrimSpace(rest[i+1:])
+		rest = strings.TrimSpace(rest[:i])
+		switch strings.ToLower(cname) {
+		case "plain":
+			class = isa.ClassPlain
+		case "acquire":
+			class = isa.ClassAcquire
+		case "release":
+			class = isa.ClassRelease
+		case "sync":
+			class = isa.ClassSync
+		default:
+			return isa.Inst{}, "", fmt.Errorf("unknown access class %q", cname)
+		}
+	}
+
+	// lif is a pseudo-op: li with a float64 immediate.
+	if mnemonic == "lif" {
+		args := splitArgs(rest)
+		if len(args) != 2 {
+			return isa.Inst{}, "", fmt.Errorf("lif needs rd, float")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return isa.Inst{}, "", err
+		}
+		f, err := strconv.ParseFloat(args[1], 64)
+		if err != nil {
+			return isa.Inst{}, "", fmt.Errorf("bad float %q", args[1])
+		}
+		return isa.Inst{Op: isa.LI, Rd: rd, Imm: int64(math.Float64bits(f))}, "", nil
+	}
+
+	op, ok := opByName[mnemonic]
+	if !ok {
+		return isa.Inst{}, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	in := isa.Inst{Op: op, Class: class}
+	if class != isa.ClassPlain && !op.IsMem() && op != isa.FENCE {
+		return isa.Inst{}, "", fmt.Errorf("access class on %s", op)
+	}
+	args := splitArgs(rest)
+
+	consume := func() (string, error) {
+		if len(args) == 0 {
+			return "", fmt.Errorf("missing operand for %s", op)
+		}
+		a := args[0]
+		args = args[1:]
+		return a, nil
+	}
+
+	var labelRef string
+	var err error
+	switch {
+	case op == isa.LD || op == isa.LDX || op == isa.TAS:
+		in.Rd, in.Imm, in.Rs1, err = parseRegMem(consume)
+	case op == isa.ST:
+		in.Rs2, in.Imm, in.Rs1, err = parseRegMem(consume)
+	case op.IsBranch():
+		labelRef, err = parseBranch(op, &in, consume)
+	default:
+		err = parseRegular(op, &in, consume)
+	}
+	if err != nil {
+		return isa.Inst{}, "", err
+	}
+	if len(args) != 0 {
+		return isa.Inst{}, "", fmt.Errorf("trailing operands %v", args)
+	}
+	return in, labelRef, nil
+}
+
+// parseRegMem parses "rX, off(rY)".
+func parseRegMem(consume func() (string, error)) (r isa.Reg, off int64, base isa.Reg, err error) {
+	a, err := consume()
+	if err != nil {
+		return
+	}
+	if r, err = parseReg(a); err != nil {
+		return
+	}
+	m, err := consume()
+	if err != nil {
+		return
+	}
+	open := strings.Index(m, "(")
+	if open < 0 || !strings.HasSuffix(m, ")") {
+		err = fmt.Errorf("memory operand %q not of the form off(rN)", m)
+		return
+	}
+	if off, err = parseImm(m[:open]); err != nil {
+		return
+	}
+	base, err = parseReg(m[open+1 : len(m)-1])
+	return
+}
+
+func parseBranch(op isa.Op, in *isa.Inst, consume func() (string, error)) (string, error) {
+	var label string
+	takeTarget := func() error {
+		a, err := consume()
+		if err != nil {
+			return err
+		}
+		if v, err := parseImm(a); err == nil {
+			in.Imm = v
+			return nil
+		}
+		if !validLabel(a) {
+			return fmt.Errorf("bad branch target %q", a)
+		}
+		label = a
+		return nil
+	}
+	var err error
+	switch op {
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
+		if in.Rs1, err = consumeReg(consume); err != nil {
+			return "", err
+		}
+		if in.Rs2, err = consumeReg(consume); err != nil {
+			return "", err
+		}
+		err = takeTarget()
+	case isa.J:
+		err = takeTarget()
+	case isa.JAL:
+		if in.Rd, err = consumeReg(consume); err != nil {
+			return "", err
+		}
+		err = takeTarget()
+	case isa.JR:
+		in.Rs1, err = consumeReg(consume)
+	}
+	return label, err
+}
+
+func parseRegular(op isa.Op, in *isa.Inst, consume func() (string, error)) error {
+	var err error
+	if op.WritesRd() {
+		if in.Rd, err = consumeReg(consume); err != nil {
+			return err
+		}
+	}
+	if op.ReadsRs1() {
+		if in.Rs1, err = consumeReg(consume); err != nil {
+			return err
+		}
+	}
+	if op.ReadsRs2() {
+		if in.Rs2, err = consumeReg(consume); err != nil {
+			return err
+		}
+	}
+	if op.HasImm() {
+		a, err := consume()
+		if err != nil {
+			return err
+		}
+		if in.Imm, err = parseImm(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func consumeReg(consume func() (string, error)) (isa.Reg, error) {
+	a, err := consume()
+	if err != nil {
+		return 0, err
+	}
+	return parseReg(a)
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return isa.Reg(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow full-range unsigned constants too.
+		u, uerr := strconv.ParseUint(s, 0, 64)
+		if uerr != nil {
+			return 0, fmt.Errorf("bad immediate %q", s)
+		}
+		return int64(u), nil
+	}
+	return v, nil
+}
+
+func splitArgs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package asm
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"memsim/internal/isa"
+)
+
+func TestAssembleBasics(t *testing.T) {
+	src := `
+; increment loop
+start:
+    li   r3, 5
+loop:
+    addi r3, r3, -1
+    bne  r3, r0, loop
+    halt
+`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	want := []isa.Inst{
+		{Op: isa.LI, Rd: 3, Imm: 5},
+		{Op: isa.ADDI, Rd: 3, Rs1: 3, Imm: -1},
+		{Op: isa.BNE, Rs1: 3, Rs2: 0, Imm: 1},
+		{Op: isa.HALT},
+	}
+	if len(prog) != len(want) {
+		t.Fatalf("got %d instructions, want %d", len(prog), len(want))
+	}
+	for i := range want {
+		if prog[i] != want[i] {
+			t.Errorf("inst %d = %+v, want %+v", i, prog[i], want[i])
+		}
+	}
+}
+
+func TestAssembleMemoryAndClasses(t *testing.T) {
+	src := `
+    ld   r5, 16(r3) !acquire
+    st   r5, -8(r3) !release
+    tas  r6, 0(r3)  !sync
+    fence !sync
+    ld   r7, 0x20(r4)
+`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	checks := []isa.Inst{
+		{Op: isa.LD, Rd: 5, Rs1: 3, Imm: 16, Class: isa.ClassAcquire},
+		{Op: isa.ST, Rs2: 5, Rs1: 3, Imm: -8, Class: isa.ClassRelease},
+		{Op: isa.TAS, Rd: 6, Rs1: 3, Imm: 0, Class: isa.ClassSync},
+		{Op: isa.FENCE, Class: isa.ClassSync},
+		{Op: isa.LD, Rd: 7, Rs1: 4, Imm: 0x20},
+	}
+	for i, want := range checks {
+		if prog[i] != want {
+			t.Errorf("inst %d = %+v, want %+v", i, prog[i], want)
+		}
+	}
+}
+
+func TestAssembleFloatImmediate(t *testing.T) {
+	prog, err := Assemble("lif r3, 2.5\nhalt")
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if prog[0].Op != isa.LI || math.Float64frombits(uint64(prog[0].Imm)) != 2.5 {
+		t.Errorf("lif produced %+v", prog[0])
+	}
+}
+
+func TestAssembleJumpForms(t *testing.T) {
+	src := `
+top:
+    j    end
+    jal  r31, top
+    jr   r31
+end:
+    halt
+`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if prog[0].Op != isa.J || prog[0].Imm != 3 {
+		t.Errorf("j = %+v", prog[0])
+	}
+	if prog[1].Op != isa.JAL || prog[1].Rd != 31 || prog[1].Imm != 0 {
+		t.Errorf("jal = %+v", prog[1])
+	}
+	if prog[2].Op != isa.JR || prog[2].Rs1 != 31 {
+		t.Errorf("jr = %+v", prog[2])
+	}
+}
+
+func TestAssembleNumericBranchTarget(t *testing.T) {
+	prog, err := Assemble("beq r1, r2, 0\nhalt")
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if prog[0].Imm != 0 {
+		t.Errorf("numeric target = %d", prog[0].Imm)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"unknown mnemonic", "frob r1"},
+		{"bad register", "add r1, r2, r99"},
+		{"missing operand", "add r1, r2"},
+		{"trailing operand", "halt r1"},
+		{"undefined label", "j nowhere\nhalt"},
+		{"duplicate label", "a:\na:\nhalt"},
+		{"bad class", "ld r1, 0(r2) !bogus"},
+		{"class on alu", "add r1, r2, r3 !sync"},
+		{"bad memory operand", "ld r1, r2"},
+		{"bad immediate", "li r1, fish"},
+		{"bad label chars", "1bad:\nhalt"},
+	}
+	for _, c := range cases {
+		if _, err := Assemble(c.src); err == nil {
+			t.Errorf("%s: assembled without error", c.name)
+		}
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+start:
+    li   r3, 5
+    lif  r4, 1.5
+loop:
+    ld   r5, 8(r3) !acquire
+    fadd r4, r4, r5
+    st   r4, 0(r3) !release
+    addi r3, r3, -1
+    blt  r0, r3, loop
+    tas  r6, 0(r3) !sync
+    fence !sync
+    j    done
+    jal  r31, start
+    jr   r31
+done:
+    halt
+`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	text := Disassemble(prog)
+	prog2, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassemble:\n%s\n%v", text, err)
+	}
+	if len(prog2) != len(prog) {
+		t.Fatalf("round trip length %d != %d", len(prog2), len(prog))
+	}
+	for i := range prog {
+		if prog[i] != prog2[i] {
+			t.Errorf("inst %d: %+v != %+v", i, prog[i], prog2[i])
+		}
+	}
+}
+
+func TestDisassembleRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ops := []isa.Op{isa.ADD, isa.ADDI, isa.LI, isa.LD, isa.ST, isa.TAS,
+		isa.FADD, isa.MOV, isa.SLLI, isa.BEQ, isa.J, isa.NOP, isa.FENCE}
+	const n = 120
+	prog := make([]isa.Inst, 0, n+1)
+	for i := 0; i < n; i++ {
+		op := ops[rng.Intn(len(ops))]
+		in := isa.Inst{Op: op}
+		if op.WritesRd() {
+			in.Rd = isa.Reg(rng.Intn(isa.NumRegs))
+		}
+		if op.ReadsRs1() {
+			in.Rs1 = isa.Reg(rng.Intn(isa.NumRegs))
+		}
+		if op.ReadsRs2() {
+			in.Rs2 = isa.Reg(rng.Intn(isa.NumRegs))
+		}
+		if op.HasImm() {
+			if op.IsBranch() {
+				in.Imm = int64(rng.Intn(n + 1))
+			} else {
+				in.Imm = rng.Int63n(1 << 30)
+			}
+		}
+		if op.IsMem() || op == isa.FENCE {
+			in.Class = isa.Class(rng.Intn(4))
+		}
+		prog = append(prog, in)
+	}
+	prog = append(prog, isa.Inst{Op: isa.HALT})
+	text := Disassemble(prog)
+	got, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, text)
+	}
+	for i := range prog {
+		if got[i] != prog[i] {
+			t.Fatalf("inst %d: got %+v want %+v\nline: %s", i, got[i], prog[i],
+				strings.Split(text, "\n")[i])
+		}
+	}
+}
+
+func TestAssembleLDX(t *testing.T) {
+	prog, err := Assemble("ldx r5, 16(r3)\nhalt")
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	want := isa.Inst{Op: isa.LDX, Rd: 5, Rs1: 3, Imm: 16}
+	if prog[0] != want {
+		t.Errorf("got %+v, want %+v", prog[0], want)
+	}
+	// Round trip through the disassembler.
+	prog2, err := Assemble(Disassemble(prog))
+	if err != nil || prog2[0] != want {
+		t.Errorf("round trip failed: %+v, %v", prog2, err)
+	}
+}
+
+func TestMultipleLabelsOneLine(t *testing.T) {
+	prog, err := Assemble("a: b: halt\nj a\nj b")
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if prog[1].Imm != 0 || prog[2].Imm != 0 {
+		t.Errorf("stacked labels resolved wrong: %+v", prog)
+	}
+}

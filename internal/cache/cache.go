@@ -1,0 +1,544 @@
+// Package cache implements the per-processor shared-data cache of the
+// simulated machine: two-way set-associative, write-back,
+// write-allocate, lockup-free with a small set of miss
+// information/status holding registers (MSHRs), per §3.1-3.2 of the
+// paper.
+//
+// The cache is a timing and coherence-state model only: it holds tags
+// and states, never data values. Functional values live in the
+// machine's flat shared-memory image and are bound by the processor
+// through the OnBind/OnRetire callbacks of a Request at the cycles the
+// access performs.
+//
+// Protocol behavior implemented here:
+//
+//   - A write (or test-and-set) hit requires Exclusive state. A write
+//     to a line held Shared invalidates the local copy and issues an
+//     ownership fetch — a write miss, exactly the accounting the paper
+//     uses to explain Qsort's low write-hit ratios (§3.3).
+//   - A miss allocates an MSHR and sends ReadReq/WriteReq toward the
+//     line's home module. A second access to a line with a pending
+//     MSHR stalls (Conflict); there is no merging.
+//   - Non-binding prefetches (SC2) allocate MSHRs but have no waiting
+//     processor operation; a prefetched line installs in Shared or
+//     Exclusive-clean state and remains fully visible to coherence.
+//   - Arriving data binds the processor's value one cycle after the
+//     header flit (first word) and installs/retires when the tail
+//     arrives (one cycle per 8-byte word), evicting a victim — with a
+//     write-back if the victim was Exclusive.
+//   - Invalidations and recalls are honored whether or not the line is
+//     still present (clean evictions are silent, so the directory may
+//     hold stale sharers), and lines lost to them are remembered so a
+//     subsequent demand miss can be counted as an invalidation miss.
+package cache
+
+import (
+	"fmt"
+
+	"memsim/internal/memory"
+	"memsim/internal/sim"
+)
+
+// State is the local state of a cache line.
+type State uint8
+
+const (
+	Invalid   State = iota
+	Shared          // read-only, possibly in other caches
+	Exclusive       // owned; writable; dirty once written
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Kind is the type of a processor access.
+type Kind uint8
+
+const (
+	Read          Kind = iota
+	ReadOwn            // load with write intent: fetch with ownership
+	Write              // store: needs ownership
+	RMW                // test-and-set: needs ownership, returns a value
+	PrefetchRead       // non-binding prefetch with read intent
+	PrefetchWrite      // non-binding prefetch with write intent
+)
+
+// Outcome is the immediate result of an Access call.
+type Outcome uint8
+
+const (
+	// Hit: the access performed now. For prefetches it also means
+	// "nothing to do" (line present or already being fetched).
+	Hit Outcome = iota
+	// Miss: an MSHR was allocated and the request sent; OnBind and
+	// OnRetire will be invoked.
+	Miss
+	// Conflict: a pending MSHR holds the same line; retry after a
+	// retirement.
+	Conflict
+	// Full: all MSHRs are busy; retry after a retirement.
+	Full
+)
+
+// Request is one processor access.
+type Request struct {
+	Kind Kind
+	Addr uint64
+	// Bypass marks the network request to enter at the head of the
+	// interface buffer (WO2 loads).
+	Bypass bool
+	// OnBind fires when the value is available: for loads, the cycle
+	// the first word arrives; for writes and RMW, when the whole line
+	// is in and the operation performs.
+	OnBind func()
+	// OnRetire fires when the line is installed and the MSHR freed:
+	// the access is globally performed.
+	OnRetire func()
+}
+
+// Stats holds per-cache counters. Reads/Writes count demand accesses
+// with a definitive outcome (hit or MSHR allocated), never retries of
+// stalled accesses; RMW accesses count as writes.
+type Stats struct {
+	Reads              uint64
+	ReadHits           uint64
+	Writes             uint64
+	WriteHits          uint64
+	InvalidationMisses uint64 // demand misses on lines lost to coherence
+	InvalidatesSeen    uint64 // Invalidate/RecallInv messages that hit a line
+	Prefetches         uint64 // prefetch MSHRs allocated
+	WriteBacks         uint64
+	Conflicts          uint64 // Conflict outcomes returned
+	Fulls              uint64 // Full outcomes returned
+}
+
+type line struct {
+	tag   uint64 // line-aligned address
+	state State
+	dirty bool
+	lru   uint64
+}
+
+type mshr struct {
+	valid    bool
+	line     uint64
+	excl     bool
+	early    bool // bind at the first word even though excl (ReadOwn)
+	prefetch bool
+	onBind   func()
+	onRetire func()
+}
+
+// Cache is one processor's shared-data cache.
+type Cache struct {
+	eng      *sim.Engine
+	id       int
+	lineSize int
+	words    int
+	numSets  int
+	assoc    int
+
+	sets [][]line
+	mshr []mshr
+
+	// send hands a protocol message to the request network; false
+	// means the interface buffer is full (the cache queues internally
+	// and retries via whenSpace).
+	send      func(msg memory.Msg, bypass bool) bool
+	whenSpace func(fn func())
+	outq      []outPkt
+
+	// invalidated remembers lines removed by coherence so the next
+	// demand miss on them counts as an invalidation miss.
+	invalidated map[uint64]bool
+
+	// onRetireAny is invoked after every MSHR retirement; the
+	// processor uses it to re-evaluate stalled accesses.
+	onRetireAny func()
+
+	lruClock uint64
+	stats    Stats
+}
+
+// Config sizes a cache.
+type Config struct {
+	Size     int // total bytes
+	LineSize int // bytes
+	Assoc    int // ways
+	MSHRs    int
+}
+
+// New builds a cache. send/whenSpace attach it to the request network.
+func New(eng *sim.Engine, id int, cfg Config, send func(msg memory.Msg, bypass bool) bool, whenSpace func(fn func())) *Cache {
+	if cfg.LineSize <= 0 || cfg.LineSize%8 != 0 {
+		panic(fmt.Sprintf("cache: bad line size %d", cfg.LineSize))
+	}
+	if cfg.Assoc <= 0 || cfg.Size%(cfg.LineSize*cfg.Assoc) != 0 {
+		panic(fmt.Sprintf("cache: size %d not divisible into %d-way sets of %dB lines", cfg.Size, cfg.Assoc, cfg.LineSize))
+	}
+	numSets := cfg.Size / (cfg.LineSize * cfg.Assoc)
+	c := &Cache{
+		eng:         eng,
+		id:          id,
+		lineSize:    cfg.LineSize,
+		words:       cfg.LineSize / 8,
+		numSets:     numSets,
+		assoc:       cfg.Assoc,
+		sets:        make([][]line, numSets),
+		mshr:        make([]mshr, cfg.MSHRs),
+		send:        send,
+		whenSpace:   whenSpace,
+		invalidated: make(map[uint64]bool),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Assoc)
+	}
+	return c
+}
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// OnRetireAny registers the processor's retirement listener (at most
+// one).
+func (c *Cache) OnRetireAny(fn func()) {
+	if c.onRetireAny != nil {
+		panic("cache: OnRetireAny already registered")
+	}
+	c.onRetireAny = fn
+}
+
+// Outstanding returns the number of valid MSHRs (including prefetches).
+func (c *Cache) Outstanding() int {
+	n := 0
+	for i := range c.mshr {
+		if c.mshr[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// LineAddr aligns addr down to its line.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr &^ uint64(c.lineSize-1)
+}
+
+func (c *Cache) setIndex(lineAddr uint64) int {
+	return int((lineAddr / uint64(c.lineSize)) % uint64(c.numSets))
+}
+
+// lookup returns the way holding lineAddr, or nil.
+func (c *Cache) lookup(lineAddr uint64) *line {
+	set := c.sets[c.setIndex(lineAddr)]
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// pendingMSHR returns the MSHR holding lineAddr, or nil.
+func (c *Cache) pendingMSHR(lineAddr uint64) *mshr {
+	for i := range c.mshr {
+		if c.mshr[i].valid && c.mshr[i].line == lineAddr {
+			return &c.mshr[i]
+		}
+	}
+	return nil
+}
+
+// freeMSHR returns an invalid MSHR, or nil.
+func (c *Cache) freeMSHR() *mshr {
+	for i := range c.mshr {
+		if !c.mshr[i].valid {
+			return &c.mshr[i]
+		}
+	}
+	return nil
+}
+
+// Probe reports whether an access of the given kind would hit right
+// now, without performing it or touching any counter. Used by the
+// processor to decide SC2 prefetching and by tests.
+func (c *Cache) Probe(kind Kind, addr uint64) bool {
+	ln := c.lookup(c.LineAddr(addr))
+	if ln == nil {
+		return false
+	}
+	if kind == Write || kind == RMW || kind == ReadOwn || kind == PrefetchWrite {
+		return ln.state == Exclusive
+	}
+	return true
+}
+
+// Access attempts a processor access. See Outcome for the contract.
+func (c *Cache) Access(r Request) Outcome {
+	lineAddr := c.LineAddr(r.Addr)
+	ln := c.lookup(lineAddr)
+	c.lruClock++
+
+	switch r.Kind {
+	case Read:
+		if ln != nil {
+			ln.lru = c.lruClock
+			c.stats.Reads++
+			c.stats.ReadHits++
+			return Hit
+		}
+		return c.missDemand(r, lineAddr, false)
+
+	case ReadOwn:
+		// A load carrying write intent (the "read with ownership"
+		// request the paper's §3.3 calls for): it reads a value but
+		// fetches the line exclusively so the expected store hits.
+		if ln != nil && ln.state == Exclusive {
+			ln.lru = c.lruClock
+			c.stats.Reads++
+			c.stats.ReadHits++
+			return Hit
+		}
+		if ln != nil {
+			ln.state = Invalid // upgrade: drop the shared copy
+		}
+		return c.missDemand(r, lineAddr, true)
+
+	case Write, RMW:
+		if ln != nil && ln.state == Exclusive {
+			ln.lru = c.lruClock
+			ln.dirty = true
+			c.stats.Writes++
+			c.stats.WriteHits++
+			return Hit
+		}
+		if ln != nil {
+			// Write to a Shared line: drop the copy and fetch with
+			// ownership — counted as a write miss (§3.3). Not an
+			// invalidation miss: we chose to drop it ourselves.
+			ln.state = Invalid
+		}
+		return c.missDemand(r, lineAddr, true)
+
+	case PrefetchRead, PrefetchWrite:
+		return c.prefetch(r, lineAddr, ln)
+	}
+	panic(fmt.Sprintf("cache: unknown access kind %d", r.Kind))
+}
+
+// missDemand handles a demand miss: allocate an MSHR and request the
+// line. excl requests ownership.
+func (c *Cache) missDemand(r Request, lineAddr uint64, excl bool) Outcome {
+	if c.pendingMSHR(lineAddr) != nil {
+		c.stats.Conflicts++
+		return Conflict
+	}
+	m := c.freeMSHR()
+	if m == nil {
+		c.stats.Fulls++
+		return Full
+	}
+	if r.Kind == ReadOwn {
+		c.stats.Reads++ // it is a load, whatever it fetches
+	} else if excl {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	if c.invalidated[lineAddr] {
+		c.stats.InvalidationMisses++
+		delete(c.invalidated, lineAddr)
+	}
+	*m = mshr{
+		valid:    true,
+		line:     lineAddr,
+		excl:     excl,
+		early:    r.Kind == ReadOwn,
+		onBind:   r.OnBind,
+		onRetire: r.OnRetire,
+	}
+	kind := memory.ReadReq
+	if excl {
+		kind = memory.WriteReq
+	}
+	c.enqueue(memory.Msg{Kind: kind, Line: lineAddr}, r.Bypass)
+	return Miss
+}
+
+// prefetch handles a non-binding prefetch.
+func (c *Cache) prefetch(r Request, lineAddr uint64, ln *line) Outcome {
+	excl := r.Kind == PrefetchWrite
+	if ln != nil {
+		if !excl || ln.state == Exclusive {
+			return Hit // nothing to do
+		}
+		// Write-intent prefetch of a Shared line: upgrade early.
+		ln.state = Invalid
+	}
+	if c.pendingMSHR(lineAddr) != nil {
+		return Hit // already on its way
+	}
+	m := c.freeMSHR()
+	if m == nil {
+		return Full
+	}
+	*m = mshr{valid: true, line: lineAddr, excl: excl, prefetch: true}
+	c.stats.Prefetches++
+	kind := memory.ReadReq
+	if excl {
+		kind = memory.WriteReq
+	}
+	c.enqueue(memory.Msg{Kind: kind, Line: lineAddr}, false)
+	return Miss
+}
+
+// Receive handles a response-network message whose header flit arrived
+// this cycle.
+func (c *Cache) Receive(msg memory.Msg) {
+	switch msg.Kind {
+	case memory.DataShared, memory.DataExclusive:
+		c.receiveData(msg)
+	case memory.Invalidate:
+		if ln := c.lookup(msg.Line); ln != nil {
+			ln.state = Invalid
+			c.invalidated[msg.Line] = true
+			c.stats.InvalidatesSeen++
+		}
+		c.enqueue(memory.Msg{Kind: memory.InvAck, Line: msg.Line}, false)
+	case memory.RecallInv:
+		if ln := c.lookup(msg.Line); ln != nil {
+			if ln.state != Exclusive {
+				panic("cache: recall of non-exclusive line")
+			}
+			ln.state = Invalid
+			c.invalidated[msg.Line] = true
+			c.stats.InvalidatesSeen++
+			c.enqueue(memory.Msg{Kind: memory.FlushInv, Line: msg.Line}, false)
+		} else {
+			c.enqueue(memory.Msg{Kind: memory.InvAck, Line: msg.Line}, false)
+		}
+	case memory.RecallShare:
+		if ln := c.lookup(msg.Line); ln != nil {
+			if ln.state != Exclusive {
+				panic("cache: recall of non-exclusive line")
+			}
+			ln.state = Shared
+			ln.dirty = false
+			c.enqueue(memory.Msg{Kind: memory.FlushShare, Line: msg.Line}, false)
+		} else {
+			c.enqueue(memory.Msg{Kind: memory.InvAck, Line: msg.Line}, false)
+		}
+	default:
+		panic(fmt.Sprintf("cache: received %s", msg.Kind))
+	}
+}
+
+// receiveData schedules value binding (first word, +1 cycle) and line
+// installation/MSHR retirement (tail, +words cycles).
+func (c *Cache) receiveData(msg memory.Msg) {
+	m := c.pendingMSHR(msg.Line)
+	if m == nil {
+		panic(fmt.Sprintf("cache %d: data for line %#x without MSHR", c.id, msg.Line))
+	}
+	excl := msg.Kind == memory.DataExclusive
+	if m.excl && !excl {
+		panic("cache: ownership request granted shared")
+	}
+	bind := m.onBind
+	if bind != nil && (!m.excl || m.early) {
+		// Loads bind at the first word (including ownership-fetching
+		// loads: the value arrives before the ownership settles).
+		c.eng.After(1, bind)
+		bind = nil
+	}
+	retireDelay := sim.Cycle(c.words)
+	c.eng.After(retireDelay, func() {
+		c.install(msg.Line, excl)
+		onRetire := m.onRetire
+		lateBind := bind
+		*m = mshr{}
+		// Writes and RMW perform once the whole line is in; mark the
+		// line dirty before anyone else can act on the retirement.
+		// (Prefetches never carry a bind callback, so they install
+		// clean.)
+		if lateBind != nil {
+			if ln := c.lookup(msg.Line); ln != nil {
+				ln.dirty = true
+			}
+			lateBind()
+		}
+		if onRetire != nil {
+			onRetire()
+		}
+		if c.onRetireAny != nil {
+			c.onRetireAny()
+		}
+	})
+}
+
+// install places a granted line, evicting a victim if needed.
+func (c *Cache) install(lineAddr uint64, excl bool) {
+	set := c.sets[c.setIndex(lineAddr)]
+	victim := -1
+	for i := range set {
+		if set[i].state == Invalid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lru < set[victim].lru {
+				victim = i
+			}
+		}
+		if set[victim].state == Exclusive {
+			// Write back owned lines (clean or dirty) so the directory
+			// learns the eviction; Shared lines leave silently.
+			c.stats.WriteBacks++
+			c.enqueue(memory.Msg{Kind: memory.WriteBack, Line: set[victim].tag}, false)
+		}
+	}
+	st := Shared
+	if excl {
+		st = Exclusive
+	}
+	c.lruClock++
+	set[victim] = line{tag: lineAddr, state: st, dirty: false, lru: c.lruClock}
+	delete(c.invalidated, lineAddr)
+}
+
+type outPkt struct {
+	msg    memory.Msg
+	bypass bool
+}
+
+// enqueue hands a message to the request network, buffering internally
+// while the interface buffer is full.
+func (c *Cache) enqueue(msg memory.Msg, bypass bool) {
+	c.outq = append(c.outq, outPkt{msg, bypass})
+	if len(c.outq) == 1 {
+		c.drainOut()
+	}
+}
+
+func (c *Cache) drainOut() {
+	for len(c.outq) > 0 {
+		o := c.outq[0]
+		if !c.send(o.msg, o.bypass) {
+			c.whenSpace(func() { c.drainOut() })
+			return
+		}
+		c.outq = c.outq[1:]
+	}
+}

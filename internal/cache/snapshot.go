@@ -1,0 +1,24 @@
+package cache
+
+// LineSnapshot describes one resident cache line for diagnostics and
+// invariant checking.
+type LineSnapshot struct {
+	Addr  uint64 // line-aligned address
+	State State
+	Dirty bool
+}
+
+// Snapshot returns every valid line in the cache. Intended for
+// post-run invariant checks and debugging; it is not part of the
+// timing model.
+func (c *Cache) Snapshot() []LineSnapshot {
+	var out []LineSnapshot
+	for _, set := range c.sets {
+		for _, ln := range set {
+			if ln.state != Invalid {
+				out = append(out, LineSnapshot{Addr: ln.tag, State: ln.state, Dirty: ln.dirty})
+			}
+		}
+	}
+	return out
+}

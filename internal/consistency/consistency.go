@@ -1,0 +1,189 @@
+// Package consistency defines the memory consistency models the paper
+// compares (its Table 1) as declarative hardware specifications.
+//
+// A Spec captures everything the processor, cache and network buffer
+// need to know to implement a model:
+//
+//   - how many shared references may be outstanding at once,
+//   - whether loads block on a miss,
+//   - whether a stalled second reference triggers a non-binding
+//     prefetch (SC2),
+//   - whether synchronization operations are visible to the hardware
+//     and, if so, whether releases retire in the background and
+//     acquires ignore pending ordinary accesses (RC),
+//   - whether loads may bypass queued messages in the processor-to-
+//     network interface buffer (WO2).
+//
+// The paper's five systems plus the two blocking-load variants of §5.1
+// are predefined. Custom specs can be constructed for ablations.
+package consistency
+
+import "fmt"
+
+// Model identifies one of the predefined system types.
+type Model int
+
+// The system types studied in the paper.
+const (
+	SC1  Model = iota // sequentially consistent baseline, non-blocking loads
+	SC2               // SC1 + hardware-directed non-binding prefetch at stalls
+	WO1               // weakly ordered, 5 MSHRs, stall at sync points
+	WO2               // WO1 + load bypassing in the network interface buffer
+	RC                // release consistent
+	BSC1              // SC1 with blocking loads (§5.1)
+	BWO1              // WO1 with blocking loads (§5.1)
+	numModels
+)
+
+// Models lists every predefined model in presentation order.
+var Models = []Model{SC1, SC2, WO1, WO2, RC, BSC1, BWO1}
+
+// RelaxedModels lists the models compared against SC1 in Figures 4-6.
+var RelaxedModels = []Model{SC2, WO1, WO2, RC}
+
+func (m Model) String() string {
+	switch m {
+	case SC1:
+		return "SC1"
+	case SC2:
+		return "SC2"
+	case WO1:
+		return "WO1"
+	case WO2:
+		return "WO2"
+	case RC:
+		return "RC"
+	case BSC1:
+		return "bSC1"
+	case BWO1:
+		return "bWO1"
+	}
+	return fmt.Sprintf("model(%d)", int(m))
+}
+
+// ParseModel converts a name like "SC1" or "bwo1" (case-insensitive on
+// the letters) to a Model.
+func ParseModel(s string) (Model, error) {
+	for _, m := range Models {
+		if equalFold(s, m.String()) {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("consistency: unknown model %q", s)
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// Spec is the hardware behavior of a consistency model implementation.
+type Spec struct {
+	Model Model
+	Name  string
+
+	// MaxOutstanding is the number of shared references that may be in
+	// flight simultaneously (1 for the SC systems; the MSHR count for
+	// the relaxed ones). The machine replaces 0 with its MSHR count.
+	MaxOutstanding int
+
+	// BlockingLoads stalls the processor on a read miss until the line
+	// returns (bSC1, bWO1).
+	BlockingLoads bool
+
+	// PrefetchOnStall issues one non-binding prefetch for the blocked
+	// second reference while the processor stalls (SC2).
+	PrefetchOnStall bool
+
+	// SyncVisible makes acquire/release/sync classed operations special
+	// to the hardware. False for the SC systems: they need no fences
+	// (every access is already strongly ordered) and treat sync-classed
+	// accesses as ordinary ones (TAS stays atomic).
+	SyncVisible bool
+
+	// ReleaseNonBlocking lets the processor run past a release; the
+	// release retires in the background once the references outstanding
+	// at its issue have performed (RC).
+	ReleaseNonBlocking bool
+
+	// AcquireIgnoresPending lets an acquire issue while ordinary
+	// references are outstanding; the processor stalls only for the
+	// acquire itself (RC).
+	AcquireIgnoresPending bool
+
+	// LoadBypass lets load requests enter at the head of the processor-
+	// to-network interface buffer, ahead of queued messages (WO2).
+	LoadBypass bool
+}
+
+// specs is the paper's Table 1, plus the §5.1 blocking-load variants.
+var specs = [numModels]Spec{
+	SC1: {
+		Model:          SC1,
+		Name:           "SC1",
+		MaxOutstanding: 1,
+	},
+	SC2: {
+		Model:           SC2,
+		Name:            "SC2",
+		MaxOutstanding:  1,
+		PrefetchOnStall: true,
+	},
+	WO1: {
+		Model:       WO1,
+		Name:        "WO1",
+		SyncVisible: true,
+	},
+	WO2: {
+		Model:       WO2,
+		Name:        "WO2",
+		SyncVisible: true,
+		LoadBypass:  true,
+	},
+	RC: {
+		Model:                 RC,
+		Name:                  "RC",
+		SyncVisible:           true,
+		ReleaseNonBlocking:    true,
+		AcquireIgnoresPending: true,
+	},
+	BSC1: {
+		Model:          BSC1,
+		Name:           "bSC1",
+		MaxOutstanding: 1,
+		BlockingLoads:  true,
+	},
+	BWO1: {
+		Model:         BWO1,
+		Name:          "bWO1",
+		SyncVisible:   true,
+		BlockingLoads: true,
+	},
+}
+
+// SpecFor returns the hardware spec of a predefined model.
+func SpecFor(m Model) Spec {
+	if m < 0 || m >= numModels {
+		panic(fmt.Sprintf("consistency: invalid model %d", int(m)))
+	}
+	return specs[m]
+}
+
+// SequentiallyConsistent reports whether the spec implements a model
+// whose hardware enforces sequential consistency for all accesses
+// (i.e. programs need no visible synchronization at all).
+func (s Spec) SequentiallyConsistent() bool { return !s.SyncVisible }

@@ -1,0 +1,98 @@
+package consistency
+
+import "testing"
+
+func TestSpecTable1(t *testing.T) {
+	// The distinguishing features of each system, per the paper's
+	// Table 1 and §3.2.
+	sc1 := SpecFor(SC1)
+	if sc1.MaxOutstanding != 1 || sc1.BlockingLoads || sc1.SyncVisible || sc1.PrefetchOnStall {
+		t.Errorf("SC1 spec wrong: %+v", sc1)
+	}
+	sc2 := SpecFor(SC2)
+	if !sc2.PrefetchOnStall || sc2.MaxOutstanding != 1 {
+		t.Errorf("SC2 spec wrong: %+v", sc2)
+	}
+	wo1 := SpecFor(WO1)
+	if !wo1.SyncVisible || wo1.MaxOutstanding != 0 || wo1.LoadBypass || wo1.ReleaseNonBlocking {
+		t.Errorf("WO1 spec wrong: %+v", wo1)
+	}
+	wo2 := SpecFor(WO2)
+	if !wo2.LoadBypass || !wo2.SyncVisible {
+		t.Errorf("WO2 spec wrong: %+v", wo2)
+	}
+	rc := SpecFor(RC)
+	if !rc.ReleaseNonBlocking || !rc.AcquireIgnoresPending || !rc.SyncVisible {
+		t.Errorf("RC spec wrong: %+v", rc)
+	}
+	bsc1 := SpecFor(BSC1)
+	if !bsc1.BlockingLoads || bsc1.MaxOutstanding != 1 {
+		t.Errorf("bSC1 spec wrong: %+v", bsc1)
+	}
+	bwo1 := SpecFor(BWO1)
+	if !bwo1.BlockingLoads || !bwo1.SyncVisible {
+		t.Errorf("bWO1 spec wrong: %+v", bwo1)
+	}
+}
+
+func TestSequentiallyConsistent(t *testing.T) {
+	for _, m := range Models {
+		s := SpecFor(m)
+		wantSC := m == SC1 || m == SC2 || m == BSC1
+		if got := s.SequentiallyConsistent(); got != wantSC {
+			t.Errorf("%s.SequentiallyConsistent = %v, want %v", m, got, wantSC)
+		}
+	}
+}
+
+func TestStringAndParseRoundTrip(t *testing.T) {
+	for _, m := range Models {
+		got, err := ParseModel(m.String())
+		if err != nil {
+			t.Errorf("ParseModel(%q): %v", m.String(), err)
+			continue
+		}
+		if got != m {
+			t.Errorf("ParseModel(%q) = %v, want %v", m.String(), got, m)
+		}
+	}
+}
+
+func TestParseModelCaseInsensitive(t *testing.T) {
+	for _, s := range []string{"sc1", "Sc2", "wo1", "WO2", "rc", "BSC1", "bwo1"} {
+		if _, err := ParseModel(s); err != nil {
+			t.Errorf("ParseModel(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseModel("tso"); err == nil {
+		t.Error("ParseModel accepted unknown model")
+	}
+}
+
+func TestSpecForPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SpecFor(-1) did not panic")
+		}
+	}()
+	SpecFor(Model(-1))
+}
+
+func TestModelsListComplete(t *testing.T) {
+	if len(Models) != int(numModels) {
+		t.Fatalf("Models has %d entries, want %d", len(Models), numModels)
+	}
+	seen := map[Model]bool{}
+	for _, m := range Models {
+		if seen[m] {
+			t.Errorf("duplicate model %v", m)
+		}
+		seen[m] = true
+		if SpecFor(m).Model != m {
+			t.Errorf("spec for %v has wrong Model field", m)
+		}
+		if SpecFor(m).Name != m.String() {
+			t.Errorf("spec name %q != model string %q", SpecFor(m).Name, m)
+		}
+	}
+}

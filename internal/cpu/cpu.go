@@ -1,0 +1,430 @@
+// Package cpu implements the simulated RISC processor: an in-order
+// core with a register scoreboard, non-blocking delayed loads, delayed
+// branches, and per-consistency-model issue rules (§3.2 of the paper).
+//
+// Execution is event-driven but batched: runs of register-only and
+// private-memory instructions execute inside one event (they cannot
+// interact with any other component), and the processor yields to the
+// discrete-event engine exactly at shared-memory accesses, fences and
+// stalls, so global event ordering is preserved.
+//
+// Functional state: register values and private memory live here;
+// shared-memory values live in the machine's flat image (the MemImage
+// interface) and are read/written at the cycle an access performs —
+// loads when their first word arrives, stores and test-and-sets when
+// the line is owned. That keeps spin locks, barriers and flag
+// synchronization timing-accurate across consistency models while the
+// cache remains a pure tag/state model.
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"memsim/internal/cache"
+	"memsim/internal/consistency"
+	"memsim/internal/isa"
+	"memsim/internal/sim"
+)
+
+// MemImage is the authoritative shared-memory value store.
+type MemImage interface {
+	ReadWord(addr uint64) uint64
+	WriteWord(addr uint64, v uint64)
+}
+
+// Stats aggregates per-processor execution counters. Stall cycles are
+// attributed to the condition that parked the processor; interlock
+// cycles cover in-batch waits for register results (load/branch
+// delays).
+type Stats struct {
+	Instructions uint64
+	PrivReads    uint64
+	PrivWrites   uint64
+	SyncOps      uint64 // acquire/release/sync-classed ops + fences issued
+	Releases     uint64 // background releases completed (RC)
+	HaltCycle    sim.Cycle
+
+	StallInterlock   uint64 // waiting for a register (load/branch delay)
+	StallOutstanding uint64 // SC: access blocked behind an outstanding one
+	StallConflict    uint64 // pending-MSHR conflict or MSHR full
+	StallDrain       uint64 // waiting for outstanding refs before a sync
+	StallSync        uint64 // waiting for a sync op to complete
+	StallBlocking    uint64 // blocking-load miss
+	StallRelease     uint64 // second release while one pending
+}
+
+// parkReason labels why the processor is parked, for stall accounting.
+type parkReason uint8
+
+const (
+	parkNone parkReason = iota
+	parkRegs
+	parkOutstanding
+	parkConflict
+	parkDrain
+	parkSync
+	parkBlocking
+	parkRelease
+	parkHalt
+)
+
+// completion tracks an issued operation the processor must wait on.
+type completion struct{ done bool }
+
+// pendingRelease is RC's background release operation.
+type pendingRelease struct {
+	addr      uint64
+	value     uint64
+	waitCount int  // outstanding refs at issue yet to retire
+	issued    bool // handed to the cache
+}
+
+// notReady marks a register whose value awaits an outstanding miss.
+const notReady = sim.Cycle(math.MaxUint64)
+
+// maxBatch bounds the number of instructions executed without ever
+// touching shared memory; exceeding it means a runaway local loop in
+// the program under simulation.
+const maxBatch = 10_000_000
+
+// CPU is one simulated processor.
+type CPU struct {
+	eng   *sim.Engine
+	id    int
+	spec  consistency.Spec
+	prog  []isa.Inst
+	cache *cache.Cache
+	mem   MemImage
+	priv  *PrivMem
+
+	loadDelay   sim.Cycle
+	branchDelay sim.Cycle
+	maxOut      int
+
+	pc          int
+	regs        [isa.NumRegs]uint64
+	regReady    [isa.NumRegs]sim.Cycle
+	regPending  [isa.NumRegs]bool
+	outstanding int // demand misses in flight (excludes prefetches)
+	missSeq     uint64
+
+	halted    bool
+	scheduled bool
+	parked    bool
+	parkWhy   parkReason
+	parkedAt  sim.Cycle
+
+	awaiting      *completion // issued sync/blocking op not yet complete
+	awaitWhy      parkReason  // stall reason while awaiting completes
+	prefetchFired bool        // one SC2 prefetch per stall episode
+
+	release        *pendingRelease
+	releaseBarrier uint64 // misses with seq <= barrier gate the release
+
+	onHalt func(id int)
+
+	stats Stats
+}
+
+// Config carries the per-CPU construction parameters.
+type Config struct {
+	ID          int
+	Spec        consistency.Spec
+	Prog        []isa.Inst
+	Cache       *cache.Cache
+	Mem         MemImage
+	LoadDelay   int
+	BranchDelay int
+	MSHRs       int // machine MSHR count; bounds relaxed-model outstanding
+	OnHalt      func(id int)
+}
+
+// New builds a CPU. Registers are zeroed except the conventional RID,
+// RNP and RSP values which the machine sets via SetReg after reset.
+func New(eng *sim.Engine, cfg Config) *CPU {
+	if cfg.LoadDelay < 1 || cfg.BranchDelay < 1 {
+		panic("cpu: delays must be >= 1")
+	}
+	maxOut := cfg.Spec.MaxOutstanding
+	if maxOut == 0 {
+		maxOut = cfg.MSHRs
+	}
+	c := &CPU{
+		eng:         eng,
+		id:          cfg.ID,
+		spec:        cfg.Spec,
+		prog:        cfg.Prog,
+		cache:       cfg.Cache,
+		mem:         cfg.Mem,
+		priv:        NewPrivMem(),
+		loadDelay:   sim.Cycle(cfg.LoadDelay),
+		branchDelay: sim.Cycle(cfg.BranchDelay),
+		maxOut:      maxOut,
+		onHalt:      cfg.OnHalt,
+	}
+	c.cache.OnRetireAny(func() { c.reconsider() })
+	return c
+}
+
+// SetReg initializes a register before the run starts.
+func (c *CPU) SetReg(r isa.Reg, v uint64) {
+	if r != isa.R0 {
+		c.regs[r] = v
+	}
+}
+
+// Reg returns a register's current value (test/inspection use).
+func (c *CPU) Reg(r isa.Reg) uint64 { return c.regs[r] }
+
+// Priv exposes the private memory (for workload setup and tests).
+func (c *CPU) Priv() *PrivMem { return c.priv }
+
+// Stats returns a copy of the counters.
+func (c *CPU) Stats() Stats { return c.stats }
+
+// Halted reports whether the program has finished.
+func (c *CPU) Halted() bool { return c.halted }
+
+// PC returns the current program counter (diagnostics).
+func (c *CPU) PC() int { return c.pc }
+
+// Start schedules the first execution event at cycle 0.
+func (c *CPU) Start() { c.schedule(c.eng.Now()) }
+
+// schedule arranges a run event at cycle at (idempotent).
+func (c *CPU) schedule(at sim.Cycle) {
+	if c.scheduled || c.halted {
+		return
+	}
+	c.scheduled = true
+	c.eng.At(at, c.run)
+}
+
+// reconsider wakes a parked processor so it can re-evaluate its stall;
+// it is invoked by MSHR retirements, value bindings, and release
+// completions.
+func (c *CPU) reconsider() {
+	c.releaseTick()
+	if !c.parked {
+		return
+	}
+	c.parked = false
+	at := c.eng.Now()
+	if c.parkedAt > at {
+		at = c.parkedAt
+	}
+	c.accountStall(c.parkWhy, uint64(at-c.parkedAt))
+	c.parkWhy = parkNone
+	c.schedule(at)
+}
+
+// park suspends execution at local time t for the given reason.
+func (c *CPU) park(why parkReason, t sim.Cycle) {
+	c.parked = true
+	c.parkWhy = why
+	c.parkedAt = t
+}
+
+func (c *CPU) accountStall(why parkReason, cycles uint64) {
+	switch why {
+	case parkRegs:
+		c.stats.StallInterlock += cycles
+	case parkOutstanding:
+		c.stats.StallOutstanding += cycles
+	case parkConflict:
+		c.stats.StallConflict += cycles
+	case parkDrain, parkHalt:
+		c.stats.StallDrain += cycles
+	case parkSync:
+		c.stats.StallSync += cycles
+	case parkBlocking:
+		c.stats.StallBlocking += cycles
+	case parkRelease:
+		c.stats.StallRelease += cycles
+	}
+}
+
+// setReg writes a register with its value becoming readable at ready.
+func (c *CPU) setReg(r isa.Reg, v uint64, ready sim.Cycle) {
+	if r == isa.R0 {
+		return
+	}
+	c.regs[r] = v
+	c.regReady[r] = ready
+	c.regPending[r] = false
+}
+
+// srcReady returns the cycle at which the instruction's source (and,
+// for WAW, destination) registers are all available, or notReady if
+// any awaits an outstanding miss.
+func (c *CPU) srcReady(in isa.Inst) sim.Cycle {
+	ready := sim.Cycle(0)
+	consider := func(r isa.Reg) {
+		if c.regPending[r] {
+			ready = notReady
+			return
+		}
+		if c.regReady[r] > ready {
+			ready = c.regReady[r]
+		}
+	}
+	if in.Op.ReadsRs1() {
+		consider(in.Rs1)
+	}
+	if in.Op.ReadsRs2() {
+		consider(in.Rs2)
+	}
+	if in.Op.WritesRd() {
+		consider(in.Rd) // WAW/interlock with an in-flight load
+	}
+	return ready
+}
+
+// effectiveClass maps an instruction's abstract synchronization class
+// to what this model's hardware sees.
+func (c *CPU) effectiveClass(cl isa.Class) isa.Class {
+	if !c.spec.SyncVisible {
+		return isa.ClassPlain
+	}
+	if !c.spec.ReleaseNonBlocking {
+		// Weak ordering: every synchronization op is a plain sync point.
+		if cl == isa.ClassAcquire || cl == isa.ClassRelease {
+			return isa.ClassSync
+		}
+	}
+	return cl
+}
+
+// run is the processor's execution event.
+func (c *CPU) run() {
+	c.scheduled = false
+	if c.halted || c.parked {
+		return
+	}
+	t := c.eng.Now()
+	for steps := 0; ; steps++ {
+		if steps > maxBatch {
+			panic(fmt.Sprintf("cpu %d: runaway local loop at pc %d", c.id, c.pc))
+		}
+		// An issued operation we must complete before advancing.
+		if c.awaiting != nil {
+			if !c.awaiting.done {
+				c.park(c.awaitWhy, t)
+				return
+			}
+			c.awaiting = nil
+			c.pc++
+			t++
+			if t > c.eng.Now() {
+				c.schedule(t)
+				return
+			}
+		}
+		if c.pc < 0 || c.pc >= len(c.prog) {
+			panic(fmt.Sprintf("cpu %d: pc %d out of program", c.id, c.pc))
+		}
+		in := c.prog[c.pc]
+
+		// Register interlock.
+		ready := c.srcReady(in)
+		if ready == notReady {
+			c.park(parkRegs, t)
+			return
+		}
+		if ready > t {
+			c.stats.StallInterlock += uint64(ready - t)
+			t = ready
+		}
+
+		switch {
+		case in.Op == isa.NOP:
+			c.stats.Instructions++
+			c.pc++
+			t++
+
+		case in.Op == isa.HALT:
+			if c.outstanding > 0 || c.release != nil {
+				if t > c.eng.Now() {
+					c.schedule(t)
+					return
+				}
+				c.park(parkHalt, t)
+				return
+			}
+			c.stats.Instructions++
+			c.halted = true
+			c.stats.HaltCycle = t
+			if c.onHalt != nil {
+				c.onHalt(c.id)
+			}
+			return
+
+		case in.Op.IsALU():
+			c.execALU(in, t)
+			c.stats.Instructions++
+			c.pc++
+			t++
+
+		case in.Op.IsBranch():
+			c.stats.Instructions++
+			c.pc = c.branchTarget(in)
+			t += c.branchDelay
+
+		case in.Op == isa.FENCE:
+			if t > c.eng.Now() {
+				c.schedule(t)
+				return
+			}
+			if c.effectiveClass(in.Class) == isa.ClassPlain {
+				// Invisible to SC hardware: a no-op.
+				c.stats.Instructions++
+				c.pc++
+				t++
+				break
+			}
+			if c.outstanding > 0 || c.release != nil {
+				c.park(parkDrain, t)
+				return
+			}
+			c.stats.Instructions++
+			c.stats.SyncOps++
+			c.pc++
+			t++
+
+		case in.Op.IsMem():
+			addr := c.regs[in.Rs1] + uint64(in.Imm)
+			if addr%8 != 0 {
+				panic(fmt.Sprintf("cpu %d: unaligned access %#x at pc %d", c.id, addr, c.pc))
+			}
+			if !isa.IsShared(addr) {
+				c.execPrivate(in, addr, t)
+				c.stats.Instructions++
+				c.pc++
+				t++
+				break
+			}
+			// Shared accesses are global events: resynchronize.
+			if t > c.eng.Now() {
+				c.schedule(t)
+				return
+			}
+			status, extra := c.sharedAccess(in, addr, t)
+			switch status {
+			case accDone:
+				c.stats.Instructions++
+				c.pc++
+				t += 1 + extra
+			case accRetry:
+				return // parked before issue; will re-execute
+			case accWait:
+				c.stats.Instructions++
+				// parked after issue; awaiting completion advances pc
+				return
+			}
+
+		default:
+			panic(fmt.Sprintf("cpu %d: cannot execute %s", c.id, in))
+		}
+	}
+}

@@ -1,0 +1,439 @@
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"memsim/internal/cache"
+	"memsim/internal/isa"
+	"memsim/internal/sim"
+)
+
+// accStatus is the outcome of attempting a shared access.
+type accStatus uint8
+
+const (
+	accDone  accStatus = iota // issued/performed; advance pc
+	accRetry                  // parked before issue; re-execute later
+	accWait                   // issued; completion will advance pc
+)
+
+// execALU performs a register-only instruction at local time t.
+func (c *CPU) execALU(in isa.Inst, t sim.Cycle) {
+	a := c.regs[in.Rs1]
+	b := c.regs[in.Rs2]
+	fa := math.Float64frombits(a)
+	fb := math.Float64frombits(b)
+	var v uint64
+	switch in.Op {
+	case isa.ADD:
+		v = a + b
+	case isa.SUB:
+		v = a - b
+	case isa.MUL:
+		v = uint64(int64(a) * int64(b))
+	case isa.DIV:
+		if b == 0 {
+			v = 0
+		} else {
+			v = uint64(int64(a) / int64(b))
+		}
+	case isa.REM:
+		if b == 0 {
+			v = 0
+		} else {
+			v = uint64(int64(a) % int64(b))
+		}
+	case isa.AND:
+		v = a & b
+	case isa.OR:
+		v = a | b
+	case isa.XOR:
+		v = a ^ b
+	case isa.SLL:
+		v = a << (b & 63)
+	case isa.SRL:
+		v = a >> (b & 63)
+	case isa.SRA:
+		v = uint64(int64(a) >> (b & 63))
+	case isa.SLT:
+		v = boolTo64(int64(a) < int64(b))
+	case isa.SLTU:
+		v = boolTo64(a < b)
+	case isa.SEQ:
+		v = boolTo64(a == b)
+	case isa.ADDI:
+		v = a + uint64(in.Imm)
+	case isa.ANDI:
+		v = a & uint64(in.Imm)
+	case isa.ORI:
+		v = a | uint64(in.Imm)
+	case isa.XORI:
+		v = a ^ uint64(in.Imm)
+	case isa.SLLI:
+		v = a << (uint64(in.Imm) & 63)
+	case isa.SRLI:
+		v = a >> (uint64(in.Imm) & 63)
+	case isa.SRAI:
+		v = uint64(int64(a) >> (uint64(in.Imm) & 63))
+	case isa.SLTI:
+		v = boolTo64(int64(a) < in.Imm)
+	case isa.LI:
+		v = uint64(in.Imm)
+	case isa.MOV:
+		v = a
+	case isa.FADD:
+		v = math.Float64bits(fa + fb)
+	case isa.FSUB:
+		v = math.Float64bits(fa - fb)
+	case isa.FMUL:
+		v = math.Float64bits(fa * fb)
+	case isa.FDIV:
+		v = math.Float64bits(fa / fb)
+	case isa.FNEG:
+		v = math.Float64bits(-fa)
+	case isa.FABS:
+		v = math.Float64bits(math.Abs(fa))
+	case isa.FSLT:
+		v = boolTo64(fa < fb)
+	case isa.FSLE:
+		v = boolTo64(fa <= fb)
+	case isa.ITOF:
+		v = math.Float64bits(float64(int64(a)))
+	case isa.FTOI:
+		v = uint64(int64(fa))
+	default:
+		panic(fmt.Sprintf("cpu: execALU on %s", in.Op))
+	}
+	c.setReg(in.Rd, v, t)
+}
+
+func boolTo64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// branchTarget evaluates a control-transfer instruction and returns
+// the next pc.
+func (c *CPU) branchTarget(in isa.Inst) int {
+	a := c.regs[in.Rs1]
+	b := c.regs[in.Rs2]
+	taken := false
+	switch in.Op {
+	case isa.BEQ:
+		taken = a == b
+	case isa.BNE:
+		taken = a != b
+	case isa.BLT:
+		taken = int64(a) < int64(b)
+	case isa.BGE:
+		taken = int64(a) >= int64(b)
+	case isa.J:
+		return int(in.Imm)
+	case isa.JAL:
+		c.setReg(in.Rd, uint64(c.pc+1), c.eng.Now())
+		return int(in.Imm)
+	case isa.JR:
+		return int(a)
+	default:
+		panic(fmt.Sprintf("cpu: branchTarget on %s", in.Op))
+	}
+	if taken {
+		return int(in.Imm)
+	}
+	return c.pc + 1
+}
+
+// execPrivate performs a private-memory access at local time t.
+func (c *CPU) execPrivate(in isa.Inst, addr uint64, t sim.Cycle) {
+	switch in.Op {
+	case isa.LD, isa.LDX:
+		c.stats.PrivReads++
+		v := c.priv.Read(addr)
+		c.setReg(in.Rd, v, t+c.loadDelay)
+	case isa.ST:
+		c.stats.PrivWrites++
+		c.priv.Write(addr, c.regs[in.Rs2])
+	case isa.TAS:
+		panic(fmt.Sprintf("cpu %d: test-and-set on private address %#x", c.id, addr))
+	}
+}
+
+// sharedAccess dispatches a shared-memory operation according to its
+// effective synchronization class. t equals the engine's current
+// cycle. The extra return value adds stall cycles after a completed
+// access (e.g. a sync load hit holds the processor for the load
+// delay).
+func (c *CPU) sharedAccess(in isa.Inst, addr uint64, t sim.Cycle) (accStatus, sim.Cycle) {
+	switch c.effectiveClass(in.Class) {
+	case isa.ClassPlain:
+		return c.plainAccess(in, addr, t)
+	case isa.ClassSync:
+		// Weak ordering: drain everything, then issue and wait.
+		if c.outstanding > 0 || c.release != nil {
+			c.park(parkDrain, t)
+			return accRetry, 0
+		}
+		return c.syncAccess(in, addr, t)
+	case isa.ClassAcquire:
+		// Release consistency: the acquire itself must complete, but
+		// pending ordinary accesses are ignored.
+		return c.syncAccess(in, addr, t)
+	case isa.ClassRelease:
+		return c.releaseAccess(in, addr, t)
+	}
+	panic("cpu: unknown effective class")
+}
+
+// cacheKind maps an opcode to its cache access kind and bypass flag.
+func (c *CPU) cacheKind(op isa.Op) (cache.Kind, bool) {
+	switch op {
+	case isa.LD:
+		return cache.Read, c.spec.LoadBypass
+	case isa.LDX:
+		return cache.ReadOwn, c.spec.LoadBypass
+	case isa.ST:
+		return cache.Write, false
+	case isa.TAS:
+		return cache.RMW, false
+	}
+	panic(fmt.Sprintf("cpu: cacheKind(%s)", op))
+}
+
+// plainAccess issues an ordinary shared access.
+func (c *CPU) plainAccess(in isa.Inst, addr uint64, t sim.Cycle) (accStatus, sim.Cycle) {
+	// Outstanding-reference limit. For the SC systems (limit 1) this
+	// stalls *any* subsequent access, hit or miss, while a reference
+	// is outstanding; SC2 additionally fires one non-binding prefetch
+	// for the blocked access.
+	if c.outstanding >= c.maxOut {
+		if c.spec.PrefetchOnStall && !c.prefetchFired {
+			kind, _ := c.cacheKind(in.Op)
+			pk := cache.PrefetchRead
+			if kind != cache.Read {
+				pk = cache.PrefetchWrite
+			}
+			c.cache.Access(cache.Request{Kind: pk, Addr: addr})
+			c.prefetchFired = true
+		}
+		c.park(parkOutstanding, t)
+		return accRetry, 0
+	}
+
+	kind, bypass := c.cacheKind(in.Op)
+	seq := c.missSeq + 1
+	req := cache.Request{Kind: kind, Addr: addr, Bypass: bypass}
+	var comp *completion
+	switch in.Op {
+	case isa.LD, isa.LDX:
+		rd := in.Rd
+		req.OnBind = func() {
+			v := c.mem.ReadWord(addr)
+			c.setReg(rd, v, c.eng.Now())
+			if comp != nil {
+				comp.done = true
+			}
+			c.reconsider()
+		}
+	case isa.ST:
+		v := c.regs[in.Rs2]
+		req.OnBind = func() { c.mem.WriteWord(addr, v) }
+	case isa.TAS:
+		rd := in.Rd
+		req.OnBind = func() {
+			old := c.mem.ReadWord(addr)
+			c.mem.WriteWord(addr, 1)
+			c.setReg(rd, old, c.eng.Now())
+			if comp != nil {
+				comp.done = true
+			}
+			c.reconsider()
+		}
+	}
+	req.OnRetire = func() { c.retireMiss(seq) }
+
+	switch c.cache.Access(req) {
+	case cache.Hit:
+		c.performHit(in, addr, t)
+		c.prefetchFired = false
+		return accDone, 0
+	case cache.Miss:
+		c.missSeq = seq
+		c.outstanding++
+		c.prefetchFired = false
+		if in.Op.IsLoad() {
+			c.regPending[in.Rd] = true
+			c.regReady[in.Rd] = notReady
+			if c.spec.BlockingLoads {
+				comp = &completion{}
+				c.awaiting = comp
+				c.awaitWhy = parkBlocking
+				c.park(parkBlocking, t)
+				return accWait, 0
+			}
+		}
+		return accDone, 0
+	case cache.Conflict, cache.Full:
+		c.park(parkConflict, t)
+		return accRetry, 0
+	}
+	panic("cpu: unknown cache outcome")
+}
+
+// performHit executes the functional side of a shared-access hit.
+func (c *CPU) performHit(in isa.Inst, addr uint64, t sim.Cycle) {
+	switch in.Op {
+	case isa.LD, isa.LDX:
+		v := c.mem.ReadWord(addr)
+		c.setReg(in.Rd, v, t+c.loadDelay)
+	case isa.ST:
+		c.mem.WriteWord(addr, c.regs[in.Rs2])
+	case isa.TAS:
+		old := c.mem.ReadWord(addr)
+		c.mem.WriteWord(addr, 1)
+		c.setReg(in.Rd, old, t+c.loadDelay)
+	}
+}
+
+// syncAccess issues a synchronization operation that the processor
+// must wait on (WO sync points after draining; RC acquires).
+func (c *CPU) syncAccess(in isa.Inst, addr uint64, t sim.Cycle) (accStatus, sim.Cycle) {
+	kind, _ := c.cacheKind(in.Op)
+	seq := c.missSeq + 1
+	comp := &completion{}
+	req := cache.Request{Kind: kind, Addr: addr}
+	switch in.Op {
+	case isa.LD, isa.LDX:
+		rd := in.Rd
+		req.OnBind = func() {
+			v := c.mem.ReadWord(addr)
+			c.setReg(rd, v, c.eng.Now())
+			comp.done = true
+			c.reconsider()
+		}
+	case isa.ST:
+		v := c.regs[in.Rs2]
+		req.OnBind = func() {
+			c.mem.WriteWord(addr, v)
+			comp.done = true
+			c.reconsider()
+		}
+	case isa.TAS:
+		rd := in.Rd
+		req.OnBind = func() {
+			old := c.mem.ReadWord(addr)
+			c.mem.WriteWord(addr, 1)
+			c.setReg(rd, old, c.eng.Now())
+			comp.done = true
+			c.reconsider()
+		}
+	}
+	req.OnRetire = func() { c.retireMiss(seq) }
+
+	switch c.cache.Access(req) {
+	case cache.Hit:
+		c.performHit(in, addr, t)
+		c.stats.SyncOps++
+		if in.Op.IsLoad() {
+			// The processor holds until the value is delivered.
+			return accDone, c.loadDelay
+		}
+		return accDone, 0
+	case cache.Miss:
+		c.missSeq = seq
+		c.outstanding++
+		c.stats.SyncOps++
+		if in.Op.IsLoad() {
+			c.regPending[in.Rd] = true
+			c.regReady[in.Rd] = notReady
+		}
+		c.awaiting = comp
+		c.awaitWhy = parkSync
+		c.park(parkSync, t)
+		return accWait, 0
+	case cache.Conflict, cache.Full:
+		c.park(parkConflict, t)
+		return accRetry, 0
+	}
+	panic("cpu: unknown cache outcome")
+}
+
+// releaseAccess handles an RC release: the processor records it and
+// moves on; the release issues in the background once the references
+// outstanding at this moment have performed.
+func (c *CPU) releaseAccess(in isa.Inst, addr uint64, t sim.Cycle) (accStatus, sim.Cycle) {
+	if in.Op != isa.ST {
+		panic(fmt.Sprintf("cpu %d: release class on %s (only stores release)", c.id, in.Op))
+	}
+	if c.release != nil {
+		c.park(parkRelease, t)
+		return accRetry, 0
+	}
+	c.stats.SyncOps++
+	c.release = &pendingRelease{
+		addr:      addr,
+		value:     c.regs[in.Rs2],
+		waitCount: c.outstanding,
+	}
+	c.releaseBarrier = c.missSeq
+	if c.release.waitCount == 0 {
+		c.tryIssueRelease()
+	}
+	return accDone, 0
+}
+
+// retireMiss accounts a demand miss retirement.
+func (c *CPU) retireMiss(seq uint64) {
+	c.outstanding--
+	if c.outstanding < 0 {
+		panic("cpu: outstanding underflow")
+	}
+	if rel := c.release; rel != nil && !rel.issued && seq <= c.releaseBarrier && rel.waitCount > 0 {
+		rel.waitCount--
+		if rel.waitCount == 0 {
+			c.tryIssueRelease()
+		}
+	}
+	// cache.OnRetireAny fires after this and calls reconsider.
+}
+
+// releaseTick retries issuing a ready release (e.g. after an MSHR
+// freed up).
+func (c *CPU) releaseTick() {
+	if rel := c.release; rel != nil && !rel.issued && rel.waitCount == 0 {
+		c.tryIssueRelease()
+	}
+}
+
+// tryIssueRelease sends the pending release to the cache.
+func (c *CPU) tryIssueRelease() {
+	rel := c.release
+	if rel == nil || rel.issued {
+		return
+	}
+	req := cache.Request{
+		Kind: cache.Write,
+		Addr: rel.addr,
+		OnBind: func() {
+			c.mem.WriteWord(rel.addr, rel.value)
+		},
+		OnRetire: func() { c.completeRelease() },
+	}
+	switch c.cache.Access(req) {
+	case cache.Hit:
+		c.mem.WriteWord(rel.addr, rel.value)
+		c.completeRelease()
+	case cache.Miss:
+		rel.issued = true
+	case cache.Conflict, cache.Full:
+		// Retried by releaseTick on the next retirement.
+	}
+}
+
+// completeRelease finishes the background release.
+func (c *CPU) completeRelease() {
+	c.stats.Releases++
+	c.release = nil
+}

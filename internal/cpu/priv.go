@@ -1,0 +1,59 @@
+package cpu
+
+import (
+	"fmt"
+
+	"memsim/internal/isa"
+)
+
+// privPageWords is the size of one private-memory page in 8-byte words.
+const privPageWords = 1024
+
+// PrivMem is a processor's private local memory: a sparse paged store
+// of 64-bit words, addressed at and above isa.PrivBase. Uninitialized
+// words read as zero. Private memory is never cached and never on the
+// network; its only cost is the load delay.
+type PrivMem struct {
+	pages map[uint64][]uint64
+}
+
+// NewPrivMem returns an empty private memory.
+func NewPrivMem() *PrivMem {
+	return &PrivMem{pages: make(map[uint64][]uint64)}
+}
+
+func privIndex(addr uint64) (page, off uint64) {
+	if addr < isa.PrivBase {
+		panic(fmt.Sprintf("cpu: private access to shared address %#x", addr))
+	}
+	if addr%8 != 0 {
+		panic(fmt.Sprintf("cpu: unaligned private access %#x", addr))
+	}
+	w := (addr - isa.PrivBase) / 8
+	return w / privPageWords, w % privPageWords
+}
+
+// Read returns the word at addr.
+func (p *PrivMem) Read(addr uint64) uint64 {
+	page, off := privIndex(addr)
+	pg := p.pages[page]
+	if pg == nil {
+		return 0
+	}
+	return pg[off]
+}
+
+// Write stores v at addr.
+func (p *PrivMem) Write(addr uint64, v uint64) {
+	page, off := privIndex(addr)
+	pg := p.pages[page]
+	if pg == nil {
+		pg = make([]uint64, privPageWords)
+		p.pages[page] = pg
+	}
+	pg[off] = v
+}
+
+// Words returns the number of allocated pages times the page size — a
+// footprint metric for tests.
+func (p *PrivMem) Words() int { return len(p.pages) * privPageWords }

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"memsim/internal/consistency"
+	"memsim/internal/machine"
+	"memsim/internal/workloads"
+)
+
+// Bench names one of the paper's benchmarks.
+type Bench string
+
+// The four benchmarks.
+const (
+	BGauss Bench = "Gauss"
+	BQsort Bench = "Qsort"
+	BRelax Bench = "Relax"
+	BPsim  Bench = "Psim"
+)
+
+// Benches lists the paper's benchmarks in presentation order.
+var Benches = []Bench{BGauss, BQsort, BRelax, BPsim}
+
+// RunSpec identifies one simulation configuration.
+type RunSpec struct {
+	Bench     Bench
+	Model     consistency.Model
+	CacheSize int
+	LineSize  int
+	LoadDelay int // 0: use Params default
+	Procs     int // 0: use Params default
+	MSHRs     int // 0: the paper's 5
+	// RelaxSched selects the Relax inner-loop schedule (Figure 9).
+	RelaxSched workloads.RelaxSchedule
+}
+
+// Runner executes simulations for a parameter preset, memoizing
+// results so baselines shared between figures run once.
+type Runner struct {
+	Params Params
+	// Log, when non-nil, receives one line per fresh simulation run.
+	Log io.Writer
+
+	cache map[RunSpec]machine.Result
+}
+
+// NewRunner builds a Runner for the preset.
+func NewRunner(p Params) *Runner {
+	return &Runner{Params: p, cache: make(map[RunSpec]machine.Result)}
+}
+
+// workload instantiates the benchmark for a spec.
+func (r *Runner) workload(s RunSpec) workloads.Workload {
+	p := r.Params
+	procs := s.Procs
+	if procs == 0 {
+		procs = p.Procs
+	}
+	if w, ok := ablationWorkload(p, s); ok {
+		return w
+	}
+	switch s.Bench {
+	case BGauss:
+		n := p.GaussN
+		if procs != p.Procs && p.GaussN32 != 0 {
+			// Figure 6 runs at 32 processors: scale the matrix so the
+			// per-processor working set keeps the paper's relationship
+			// to the caches (and the barrier share of run time stays
+			// realistic).
+			n = p.GaussN32
+		}
+		return workloads.Gauss(procs, n, p.Seed)
+	case BQsort:
+		return workloads.Qsort(procs, p.QsortN, p.Seed)
+	case BRelax:
+		return workloads.Relax(procs, p.RelaxN, p.RelaxIters, s.RelaxSched, p.Seed)
+	case BPsim:
+		return workloads.Psim(procs, p.PsimPorts, p.PsimRefs, p.Seed)
+	}
+	panic(fmt.Sprintf("experiments: unknown benchmark %q", s.Bench))
+}
+
+// Run executes (or recalls) one configuration, validating the
+// workload's result.
+func (r *Runner) Run(s RunSpec) (machine.Result, error) {
+	p := r.Params
+	// Normalize explicit defaults so memoization unifies them.
+	if s.LoadDelay == p.LoadDelay {
+		s.LoadDelay = 0
+	}
+	if s.Procs == p.Procs {
+		s.Procs = 0
+	}
+	if res, ok := r.cache[s]; ok {
+		return res, nil
+	}
+	w := r.workload(s)
+	delay := s.LoadDelay
+	if delay == 0 {
+		delay = p.LoadDelay
+	}
+	cfg := machine.Config{
+		Procs:       w.Procs,
+		Model:       s.Model,
+		CacheSize:   s.CacheSize,
+		LineSize:    s.LineSize,
+		LoadDelay:   delay,
+		MSHRs:       s.MSHRs,
+		SharedWords: w.SharedWords,
+	}
+	m, err := machine.New(cfg, w.Programs)
+	if err != nil {
+		return machine.Result{}, fmt.Errorf("experiments: %s: %w", describe(s), err)
+	}
+	if w.Setup != nil {
+		w.Setup(m.Shared())
+	}
+	res, err := m.Run(p.MaxEvents)
+	if err != nil {
+		return machine.Result{}, fmt.Errorf("experiments: %s: %w", describe(s), err)
+	}
+	if w.Validate != nil {
+		if err := w.Validate(m.Shared()); err != nil {
+			return machine.Result{}, fmt.Errorf("experiments: %s: %w", describe(s), err)
+		}
+	}
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, "  ran %-40s %12d cycles  (hit %5.1f%%)\n",
+			describe(s), res.Cycles, 100*res.HitRate())
+	}
+	r.cache[s] = res
+	return res, nil
+}
+
+func describe(s RunSpec) string {
+	d := fmt.Sprintf("%s/%s/cache%dK/line%d", s.Bench, s.Model, s.CacheSize>>10, s.LineSize)
+	if s.Bench == BRelax && s.RelaxSched != workloads.RelaxDefault {
+		d += "/" + s.RelaxSched.String()
+	}
+	if s.LoadDelay != 0 {
+		d += fmt.Sprintf("/delay%d", s.LoadDelay)
+	}
+	if s.Procs != 0 {
+		d += fmt.Sprintf("/procs%d", s.Procs)
+	}
+	if s.MSHRs != 0 {
+		d += fmt.Sprintf("/mshr%d", s.MSHRs)
+	}
+	return d
+}

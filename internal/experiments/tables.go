@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"memsim/internal/consistency"
+)
+
+// CL keys per-configuration values by cache and line size.
+type CL struct {
+	Cache int // bytes
+	Line  int // bytes
+}
+
+func (c CL) String() string { return fmt.Sprintf("%dK/%dB", c.Cache>>10, c.Line) }
+
+// Table2 reproduces the paper's Table 2 (benchmark statistics under
+// SC1) together with the appendix Tables 7-9: per-processor reference
+// counts, total/read/write hit rates by cache and line size, and mean
+// cycles between references.
+type Table2 struct {
+	Params Params
+	Rows   []Table2Row
+}
+
+// Table2Row is one benchmark's statistics.
+type Table2Row struct {
+	Bench   Bench
+	ReadsK  float64 // shared reads per processor, thousands
+	WritesK float64 // shared writes per processor, thousands
+
+	HitPct      map[CL]float64 // Table 2: combined hit rate
+	ReadHitPct  map[CL]float64 // Table 7
+	WriteHitPct map[CL]float64 // Table 8
+	// Table 9 (16-byte lines): mean cycles between references.
+	CyclesPerRead  map[int]float64 // keyed by cache size
+	CyclesPerWrite map[int]float64
+}
+
+// RunTable2 gathers SC1 statistics across the cache/line grid.
+func RunTable2(r *Runner) (*Table2, error) {
+	p := r.Params
+	t := &Table2{Params: p}
+	for _, bench := range Benches {
+		row := Table2Row{
+			Bench:          bench,
+			HitPct:         map[CL]float64{},
+			ReadHitPct:     map[CL]float64{},
+			WriteHitPct:    map[CL]float64{},
+			CyclesPerRead:  map[int]float64{},
+			CyclesPerWrite: map[int]float64{},
+		}
+		for _, cache := range []int{p.SmallCache, p.LargeCache} {
+			for _, line := range p.LineSizes {
+				res, err := r.Run(RunSpec{Bench: bench, Model: consistency.SC1, CacheSize: cache, LineSize: line})
+				if err != nil {
+					return nil, err
+				}
+				cl := CL{cache, line}
+				row.HitPct[cl] = 100 * res.HitRate()
+				row.ReadHitPct[cl] = 100 * res.ReadHitRate()
+				row.WriteHitPct[cl] = 100 * res.WriteHitRate()
+				if line == referenceLine(p) {
+					procs := float64(len(res.CPUs))
+					row.ReadsK = float64(res.TotalReads()) / procs / 1000
+					row.WritesK = float64(res.TotalWrites()) / procs / 1000
+					row.CyclesPerRead[cache] = float64(res.Cycles) / (float64(res.TotalReads()) / procs)
+					row.CyclesPerWrite[cache] = float64(res.Cycles) / (float64(res.TotalWrites()) / procs)
+				}
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// referenceLine is the line size whose run supplies the per-benchmark
+// scalar columns (the paper used 16-byte lines for Table 9).
+func referenceLine(p Params) int {
+	for _, l := range p.LineSizes {
+		if l == 16 {
+			return l
+		}
+	}
+	return p.LineSizes[0]
+}
+
+func (t *Table2) String() string {
+	var sb strings.Builder
+	p := t.Params
+	fmt.Fprintf(&sb, "Table 2: benchmark statistics under SC1 (%s preset)\n", p.Name)
+	fmt.Fprintf(&sb, "%-7s %8s %8s |", "Bench", "Reads(k)", "Write(k)")
+	for _, cache := range []int{p.SmallCache, p.LargeCache} {
+		for _, line := range p.LineSizes {
+			fmt.Fprintf(&sb, " %8s", CL{cache, line})
+		}
+	}
+	sb.WriteString("\n")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&sb, "%-7s %8.0f %8.0f |", row.Bench, row.ReadsK, row.WritesK)
+		for _, cache := range []int{p.SmallCache, p.LargeCache} {
+			for _, line := range p.LineSizes {
+				fmt.Fprintf(&sb, " %7.1f%%", row.HitPct[CL{cache, line}])
+			}
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("\nTables 7/8: read / write hit rates (%)\n")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&sb, "%-7s reads :", row.Bench)
+		for _, cache := range []int{p.SmallCache, p.LargeCache} {
+			for _, line := range p.LineSizes {
+				fmt.Fprintf(&sb, " %6.1f", row.ReadHitPct[CL{cache, line}])
+			}
+		}
+		fmt.Fprintf(&sb, "\n%-7s writes:", row.Bench)
+		for _, cache := range []int{p.SmallCache, p.LargeCache} {
+			for _, line := range p.LineSizes {
+				fmt.Fprintf(&sb, " %6.1f", row.WriteHitPct[CL{cache, line}])
+			}
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "\nTable 9: cycles between references (%dB lines)\n", referenceLine(p))
+	fmt.Fprintf(&sb, "%-7s %10s %10s %10s %10s\n", "Bench",
+		"rd(small)", "wr(small)", "rd(large)", "wr(large)")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&sb, "%-7s %10.1f %10.1f %10.1f %10.1f\n", row.Bench,
+			row.CyclesPerRead[p.SmallCache], row.CyclesPerWrite[p.SmallCache],
+			row.CyclesPerRead[p.LargeCache], row.CyclesPerWrite[p.LargeCache])
+	}
+	return sb.String()
+}
+
+// Tables3to6 reproduces the paper's Tables 3-6: the absolute
+// (kilocycles) and relative (%) benefit of WO1 over SC1, for load and
+// branch delays of two and four cycles, per benchmark, cache and line
+// size.
+type Tables3to6 struct {
+	Params Params
+	Rows   []DelayRow
+}
+
+// DelayRow is one (benchmark, cache, delay) record.
+type DelayRow struct {
+	Bench     Bench
+	CacheSize int
+	Delay     int
+	AbsoluteK map[int]float64 // line size -> (SC1 - WO1) kilocycles
+	RelPct    map[int]float64 // line size -> percent improvement
+}
+
+// RunTables3to6 gathers the delay-sensitivity grid.
+func RunTables3to6(r *Runner) (*Tables3to6, error) {
+	p := r.Params
+	out := &Tables3to6{Params: p}
+	for _, bench := range Benches {
+		for _, cache := range []int{p.SmallCache, p.LargeCache} {
+			for _, delay := range []int{2, 4} {
+				row := DelayRow{
+					Bench: bench, CacheSize: cache, Delay: delay,
+					AbsoluteK: map[int]float64{}, RelPct: map[int]float64{},
+				}
+				for _, line := range p.LineSizes {
+					base, err := r.Run(RunSpec{Bench: bench, Model: consistency.SC1,
+						CacheSize: cache, LineSize: line, LoadDelay: delay})
+					if err != nil {
+						return nil, err
+					}
+					wo, err := r.Run(RunSpec{Bench: bench, Model: consistency.WO1,
+						CacheSize: cache, LineSize: line, LoadDelay: delay})
+					if err != nil {
+						return nil, err
+					}
+					row.AbsoluteK[line] = (float64(base.Cycles) - float64(wo.Cycles)) / 1000
+					row.RelPct[line] = 100 * wo.GainOver(base)
+				}
+				out.Rows = append(out.Rows, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+func (t *Tables3to6) String() string {
+	var sb strings.Builder
+	p := t.Params
+	fmt.Fprintf(&sb, "Tables 3-6: WO1 benefit over SC1 by load/branch delay (%s preset)\n", p.Name)
+	fmt.Fprintf(&sb, "%-7s %6s %6s |", "Bench", "cache", "delay")
+	for _, line := range p.LineSizes {
+		fmt.Fprintf(&sb, " %6dB-abs %6dB-rel", line, line)
+	}
+	sb.WriteString("\n")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&sb, "%-7s %5dK %6d |", row.Bench, row.CacheSize>>10, row.Delay)
+		for _, line := range p.LineSizes {
+			fmt.Fprintf(&sb, " %9.0fk %8.1f%%", row.AbsoluteK[line], row.RelPct[line])
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,84 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// InstBytes is the size of one encoded instruction.
+//
+// Layout (little-endian):
+//
+//	byte 0: opcode
+//	byte 1: rd
+//	byte 2: rs1
+//	byte 3: rs2
+//	byte 4: class
+//	bytes 5-7: zero padding
+//	bytes 8-15: imm (two's complement int64)
+const InstBytes = 16
+
+// Encode writes the instruction into buf, which must be at least
+// InstBytes long, and returns InstBytes.
+func (in Inst) Encode(buf []byte) int {
+	_ = buf[InstBytes-1]
+	buf[0] = byte(in.Op)
+	buf[1] = byte(in.Rd)
+	buf[2] = byte(in.Rs1)
+	buf[3] = byte(in.Rs2)
+	buf[4] = byte(in.Class)
+	buf[5], buf[6], buf[7] = 0, 0, 0
+	binary.LittleEndian.PutUint64(buf[8:], uint64(in.Imm))
+	return InstBytes
+}
+
+// Decode parses one instruction from buf.
+func Decode(buf []byte) (Inst, error) {
+	if len(buf) < InstBytes {
+		return Inst{}, fmt.Errorf("isa: short instruction: %d bytes", len(buf))
+	}
+	in := Inst{
+		Op:    Op(buf[0]),
+		Rd:    Reg(buf[1]),
+		Rs1:   Reg(buf[2]),
+		Rs2:   Reg(buf[3]),
+		Class: Class(buf[4]),
+		Imm:   int64(binary.LittleEndian.Uint64(buf[8:])),
+	}
+	if !in.Op.Valid() {
+		return Inst{}, fmt.Errorf("isa: invalid opcode %d", buf[0])
+	}
+	if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
+		return Inst{}, fmt.Errorf("isa: register out of range in %s", in.Op)
+	}
+	if in.Class >= numClasses {
+		return Inst{}, fmt.Errorf("isa: invalid class %d", buf[4])
+	}
+	return in, nil
+}
+
+// EncodeProgram encodes a whole program.
+func EncodeProgram(prog []Inst) []byte {
+	out := make([]byte, len(prog)*InstBytes)
+	for i, in := range prog {
+		in.Encode(out[i*InstBytes:])
+	}
+	return out
+}
+
+// DecodeProgram decodes a whole program; the input length must be a
+// multiple of InstBytes.
+func DecodeProgram(buf []byte) ([]Inst, error) {
+	if len(buf)%InstBytes != 0 {
+		return nil, fmt.Errorf("isa: program length %d not a multiple of %d", len(buf), InstBytes)
+	}
+	prog := make([]Inst, len(buf)/InstBytes)
+	for i := range prog {
+		in, err := Decode(buf[i*InstBytes:])
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+		prog[i] = in
+	}
+	return prog, nil
+}

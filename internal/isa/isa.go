@@ -1,0 +1,325 @@
+// Package isa defines the instruction set of the simulated RISC
+// processor: a generic three-operand load/store architecture in the
+// spirit of the Ridge 32 CPU the paper's Cerberus simulator modeled.
+//
+// The machine has 32 general-purpose 64-bit registers. Register 0 is
+// hardwired to zero. Floating-point operations interpret register bits
+// as IEEE-754 float64 values, so no separate FP register file is needed.
+// Memory is byte-addressed; all data accesses move one aligned 8-byte
+// word. Addresses at or above PrivBase refer to the processor's private
+// local memory (never cached, never on the network); addresses below it
+// are shared and go through the cache hierarchy.
+//
+// Memory operations carry an access Class. ClassPlain is an ordinary
+// data access. ClassAcquire, ClassRelease and ClassSync mark
+// synchronization operations that are visible to the hardware; how each
+// consistency model interprets them is defined in package consistency.
+package isa
+
+import "fmt"
+
+// Reg names one of the 32 general-purpose registers. R0 reads as zero
+// and ignores writes.
+type Reg uint8
+
+// NumRegs is the size of the register file.
+const NumRegs = 32
+
+// Conventional register assignments used by the program builder and the
+// workloads. Only R0's behavior is architectural; the rest are software
+// convention, set up by the machine at reset.
+const (
+	R0   Reg = 0  // hardwired zero
+	RID  Reg = 1  // processor id at reset
+	RNP  Reg = 2  // number of processors at reset
+	RSP  Reg = 30 // private-memory stack pointer at reset
+	RRet Reg = 31 // link register for JAL
+)
+
+// PrivBase is the first address of the processor-private address space.
+// Shared addresses are below it, private addresses at or above it.
+const PrivBase uint64 = 1 << 40
+
+// WordBytes is the size of every data access.
+const WordBytes = 8
+
+// Op is an operation code.
+type Op uint8
+
+// Operation codes. Groupings matter: predicates below (IsMem, IsBranch,
+// ...) are defined over contiguous ranges.
+const (
+	NOP Op = iota
+	HALT
+
+	// Integer register-register ALU: Rd = Rs1 op Rs2.
+	ADD
+	SUB
+	MUL
+	DIV // signed; divide by zero yields 0 (architectural choice, tested)
+	REM // signed; mod by zero yields 0
+	AND
+	OR
+	XOR
+	SLL // shift left logical by Rs2&63
+	SRL
+	SRA
+	SLT  // set if signed less-than
+	SLTU // set if unsigned less-than
+	SEQ  // set if equal
+
+	// Integer register-immediate ALU: Rd = Rs1 op Imm.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	SLTI
+
+	// Constants and moves.
+	LI  // Rd = Imm (full 64-bit immediate)
+	MOV // Rd = Rs1
+
+	// Floating point (float64 bit patterns in integer registers).
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FNEG
+	FABS
+	FSLT // set int 1 if Rs1 < Rs2 as float64
+	FSLE // set int 1 if Rs1 <= Rs2
+	ITOF // Rd = float64(int64(Rs1))
+	FTOI // Rd = int64(float64(Rs1))
+
+	// Memory. Effective address is Rs1 + Imm.
+	LD  // Rd = MEM[Rs1+Imm]
+	LDX // Rd = MEM[Rs1+Imm], fetching the line with ownership
+	ST  // MEM[Rs1+Imm] = Rs2
+	TAS // Rd = MEM[Rs1+Imm]; MEM[Rs1+Imm] = 1 (atomic test-and-set)
+
+	// FENCE is a stand-alone synchronization point (the paper's SYNC
+	// instruction); it touches no memory location itself.
+	FENCE
+
+	// Control transfer. Branch/jump targets are absolute instruction
+	// indices held in Imm.
+	BEQ // if Rs1 == Rs2 goto Imm
+	BNE
+	BLT // signed
+	BGE // signed
+	J   // goto Imm
+	JAL // Rd = next pc; goto Imm
+	JR  // goto Rs1
+
+	numOps // sentinel; keep last
+)
+
+// Class categorizes a memory operation for the consistency hardware.
+type Class uint8
+
+const (
+	ClassPlain   Class = iota // ordinary data access
+	ClassAcquire              // acquire synchronization (lock, flag spin)
+	ClassRelease              // release synchronization (unlock, flag set)
+	ClassSync                 // plain synchronization point (weak ordering)
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassPlain:
+		return "plain"
+	case ClassAcquire:
+		return "acquire"
+	case ClassRelease:
+		return "release"
+	case ClassSync:
+		return "sync"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Inst is one decoded instruction. Branch and jump targets are absolute
+// instruction indices stored in Imm.
+type Inst struct {
+	Op    Op
+	Rd    Reg
+	Rs1   Reg
+	Rs2   Reg
+	Imm   int64
+	Class Class // meaningful for LD, ST, TAS, FENCE only
+}
+
+// opInfo captures per-opcode metadata for predicates and disassembly.
+type opInfo struct {
+	name                          string
+	hasRd, hasRs1, hasRs2, hasImm bool
+}
+
+var opTable = [numOps]opInfo{
+	NOP:   {name: "nop"},
+	HALT:  {name: "halt"},
+	ADD:   {name: "add", hasRd: true, hasRs1: true, hasRs2: true},
+	SUB:   {name: "sub", hasRd: true, hasRs1: true, hasRs2: true},
+	MUL:   {name: "mul", hasRd: true, hasRs1: true, hasRs2: true},
+	DIV:   {name: "div", hasRd: true, hasRs1: true, hasRs2: true},
+	REM:   {name: "rem", hasRd: true, hasRs1: true, hasRs2: true},
+	AND:   {name: "and", hasRd: true, hasRs1: true, hasRs2: true},
+	OR:    {name: "or", hasRd: true, hasRs1: true, hasRs2: true},
+	XOR:   {name: "xor", hasRd: true, hasRs1: true, hasRs2: true},
+	SLL:   {name: "sll", hasRd: true, hasRs1: true, hasRs2: true},
+	SRL:   {name: "srl", hasRd: true, hasRs1: true, hasRs2: true},
+	SRA:   {name: "sra", hasRd: true, hasRs1: true, hasRs2: true},
+	SLT:   {name: "slt", hasRd: true, hasRs1: true, hasRs2: true},
+	SLTU:  {name: "sltu", hasRd: true, hasRs1: true, hasRs2: true},
+	SEQ:   {name: "seq", hasRd: true, hasRs1: true, hasRs2: true},
+	ADDI:  {name: "addi", hasRd: true, hasRs1: true, hasImm: true},
+	ANDI:  {name: "andi", hasRd: true, hasRs1: true, hasImm: true},
+	ORI:   {name: "ori", hasRd: true, hasRs1: true, hasImm: true},
+	XORI:  {name: "xori", hasRd: true, hasRs1: true, hasImm: true},
+	SLLI:  {name: "slli", hasRd: true, hasRs1: true, hasImm: true},
+	SRLI:  {name: "srli", hasRd: true, hasRs1: true, hasImm: true},
+	SRAI:  {name: "srai", hasRd: true, hasRs1: true, hasImm: true},
+	SLTI:  {name: "slti", hasRd: true, hasRs1: true, hasImm: true},
+	LI:    {name: "li", hasRd: true, hasImm: true},
+	MOV:   {name: "mov", hasRd: true, hasRs1: true},
+	FADD:  {name: "fadd", hasRd: true, hasRs1: true, hasRs2: true},
+	FSUB:  {name: "fsub", hasRd: true, hasRs1: true, hasRs2: true},
+	FMUL:  {name: "fmul", hasRd: true, hasRs1: true, hasRs2: true},
+	FDIV:  {name: "fdiv", hasRd: true, hasRs1: true, hasRs2: true},
+	FNEG:  {name: "fneg", hasRd: true, hasRs1: true},
+	FABS:  {name: "fabs", hasRd: true, hasRs1: true},
+	FSLT:  {name: "fslt", hasRd: true, hasRs1: true, hasRs2: true},
+	FSLE:  {name: "fsle", hasRd: true, hasRs1: true, hasRs2: true},
+	ITOF:  {name: "itof", hasRd: true, hasRs1: true},
+	FTOI:  {name: "ftoi", hasRd: true, hasRs1: true},
+	LD:    {name: "ld", hasRd: true, hasRs1: true, hasImm: true},
+	LDX:   {name: "ldx", hasRd: true, hasRs1: true, hasImm: true},
+	ST:    {name: "st", hasRs1: true, hasRs2: true, hasImm: true},
+	TAS:   {name: "tas", hasRd: true, hasRs1: true, hasImm: true},
+	FENCE: {name: "fence"},
+	BEQ:   {name: "beq", hasRs1: true, hasRs2: true, hasImm: true},
+	BNE:   {name: "bne", hasRs1: true, hasRs2: true, hasImm: true},
+	BLT:   {name: "blt", hasRs1: true, hasRs2: true, hasImm: true},
+	BGE:   {name: "bge", hasRs1: true, hasRs2: true, hasImm: true},
+	J:     {name: "j", hasImm: true},
+	JAL:   {name: "jal", hasRd: true, hasImm: true},
+	JR:    {name: "jr", hasRs1: true},
+}
+
+// Valid reports whether op is a defined operation code.
+func (op Op) Valid() bool { return op < numOps && opTable[op].name != "" }
+
+func (op Op) String() string {
+	if !op.Valid() {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// IsMem reports whether op accesses data memory (LD, ST or TAS).
+func (op Op) IsMem() bool { return op == LD || op == LDX || op == ST || op == TAS }
+
+// IsLoad reports whether op reads data memory into a register.
+func (op Op) IsLoad() bool { return op == LD || op == LDX || op == TAS }
+
+// IsStore reports whether op writes data memory.
+func (op Op) IsStore() bool { return op == ST || op == TAS }
+
+// IsBranch reports whether op is a conditional branch or jump, i.e.
+// pays the branch delay.
+func (op Op) IsBranch() bool { return op >= BEQ && op <= JR }
+
+// IsALU reports whether op is a register-only computation (including
+// constants and moves) with single-cycle latency.
+func (op Op) IsALU() bool { return op >= ADD && op <= FTOI }
+
+// WritesRd reports whether op writes its Rd operand.
+func (op Op) WritesRd() bool { return op.Valid() && opTable[op].hasRd }
+
+// ReadsRs1 reports whether op reads its Rs1 operand.
+func (op Op) ReadsRs1() bool { return op.Valid() && opTable[op].hasRs1 }
+
+// ReadsRs2 reports whether op reads its Rs2 operand.
+func (op Op) ReadsRs2() bool { return op.Valid() && opTable[op].hasRs2 }
+
+// HasImm reports whether op uses its immediate operand.
+func (op Op) HasImm() bool { return op.Valid() && opTable[op].hasImm }
+
+// IsShared reports whether a memory access to addr goes to the shared
+// address space (through cache and network) rather than private memory.
+func IsShared(addr uint64) bool { return addr < PrivBase }
+
+// String renders the instruction in assembler syntax, e.g.
+// "ld r5, 16(r3) !acquire".
+func (in Inst) String() string {
+	info := opTable[NOP]
+	if in.Op.Valid() {
+		info = opTable[in.Op]
+	}
+	s := in.Op.String()
+	sep := " "
+	switch in.Op {
+	case LD, LDX, TAS:
+		s += fmt.Sprintf(" r%d, %d(r%d)", in.Rd, in.Imm, in.Rs1)
+	case ST:
+		s += fmt.Sprintf(" r%d, %d(r%d)", in.Rs2, in.Imm, in.Rs1)
+	default:
+		if info.hasRd {
+			s += fmt.Sprintf("%sr%d", sep, in.Rd)
+			sep = ", "
+		}
+		if info.hasRs1 {
+			s += fmt.Sprintf("%sr%d", sep, in.Rs1)
+			sep = ", "
+		}
+		if info.hasRs2 {
+			s += fmt.Sprintf("%sr%d", sep, in.Rs2)
+			sep = ", "
+		}
+		if info.hasImm {
+			s += fmt.Sprintf("%s%d", sep, in.Imm)
+		}
+	}
+	if in.Class != ClassPlain && (in.Op.IsMem() || in.Op == FENCE) {
+		s += " !" + in.Class.String()
+	}
+	return s
+}
+
+// Validate checks structural well-formedness: a known opcode, in-range
+// registers, classes only on memory/fence operations, and in-range
+// branch targets given program length n.
+func (in Inst) Validate(n int) error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("isa: invalid opcode %d", uint8(in.Op))
+	}
+	if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
+		return fmt.Errorf("isa: %s: register out of range", in)
+	}
+	if in.Class >= numClasses {
+		return fmt.Errorf("isa: %s: invalid class %d", in, uint8(in.Class))
+	}
+	if in.Class != ClassPlain && !in.Op.IsMem() && in.Op != FENCE {
+		return fmt.Errorf("isa: %s: class on non-memory op", in)
+	}
+	if in.Op.IsBranch() && in.Op != JR {
+		if in.Imm < 0 || in.Imm >= int64(n) {
+			return fmt.Errorf("isa: %s: branch target %d out of program [0,%d)", in, in.Imm, n)
+		}
+	}
+	return nil
+}
+
+// ValidateProgram checks every instruction of a program.
+func ValidateProgram(prog []Inst) error {
+	for pc, in := range prog {
+		if err := in.Validate(len(prog)); err != nil {
+			return fmt.Errorf("pc %d: %w", pc, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package machine
+
+import (
+	"fmt"
+
+	"memsim/internal/cache"
+)
+
+// CheckCoherence verifies the protocol's safety invariants after a run
+// has quiesced (all processors halted, no messages in flight):
+//
+//   - no line is Exclusive in more than one cache;
+//   - a line Exclusive anywhere is resident nowhere else;
+//   - a directory entry in Dirty state names an owner that actually
+//     holds the line exclusively;
+//   - a directory entry's sharer set is a superset of the caches
+//     holding the line (stale sharers are legal — clean evictions are
+//     silent — but missing ones are not);
+//   - no directory entry is still mid-transaction and every module is
+//     idle.
+//
+// It returns the first violation found.
+func (m *Machine) CheckCoherence() error {
+	type holder struct {
+		cpu   int
+		state cache.State
+	}
+	holders := map[uint64][]holder{}
+	for i, c := range m.caches {
+		for _, ln := range c.Snapshot() {
+			holders[ln.Addr] = append(holders[ln.Addr], holder{i, ln.State})
+		}
+	}
+	for line, hs := range holders {
+		excl := -1
+		for _, h := range hs {
+			if h.state == cache.Exclusive {
+				if excl >= 0 {
+					return fmt.Errorf("line %#x exclusive in caches %d and %d", line, excl, h.cpu)
+				}
+				excl = h.cpu
+			}
+		}
+		if excl >= 0 && len(hs) > 1 {
+			return fmt.Errorf("line %#x exclusive in cache %d but resident in %d caches", line, excl, len(hs))
+		}
+	}
+
+	for mi, mod := range m.modules {
+		if !mod.Idle() {
+			return fmt.Errorf("module %d not idle after quiesce", mi)
+		}
+		for _, e := range mod.SnapshotDir() {
+			hs := holders[e.Line]
+			switch e.State {
+			case "busy":
+				return fmt.Errorf("line %#x directory still busy", e.Line)
+			case "dirty":
+				found := false
+				for _, h := range hs {
+					if h.cpu == e.Owner && h.state == cache.Exclusive {
+						found = true
+					}
+				}
+				if !found {
+					return fmt.Errorf("line %#x dirty at owner %d but not held exclusively", e.Line, e.Owner)
+				}
+			case "shared", "uncached":
+				for _, h := range hs {
+					if h.state == cache.Exclusive {
+						return fmt.Errorf("line %#x exclusive in cache %d but directory says %s",
+							e.Line, h.cpu, e.State)
+					}
+					if e.State == "shared" && e.Sharers&(1<<uint(h.cpu)) == 0 {
+						return fmt.Errorf("line %#x held by cache %d missing from sharer set %b",
+							e.Line, h.cpu, e.Sharers)
+					}
+					if e.State == "uncached" {
+						return fmt.Errorf("line %#x held by cache %d but directory says uncached",
+							e.Line, h.cpu)
+					}
+				}
+			}
+			if e.Pending != 0 {
+				return fmt.Errorf("line %#x has %d parked requests after quiesce", e.Line, e.Pending)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+// Package machine assembles the complete simulated multiprocessor of
+// the paper's §3.1: N processors with private caches, two Omega
+// networks (requests and responses), and N interleaved global memory
+// modules with a full-map directory.
+//
+// A Machine owns the authoritative flat image of shared memory.
+// Caches and modules are timing/state models; processors bind values
+// against this image at the cycles their accesses perform (see package
+// cpu).
+package machine
+
+import (
+	"fmt"
+
+	"memsim/internal/cache"
+	"memsim/internal/consistency"
+	"memsim/internal/cpu"
+	"memsim/internal/isa"
+	"memsim/internal/memory"
+	"memsim/internal/network"
+	"memsim/internal/sim"
+	"memsim/internal/trace"
+)
+
+// Config describes one simulated system.
+type Config struct {
+	Procs       int // processors = memory modules (dance-hall)
+	Model       consistency.Model
+	CacheSize   int // bytes, per processor (paper: 16K, 64K)
+	LineSize    int // bytes (paper: 8, 16, 64)
+	Assoc       int // ways; 0 means the paper's 2
+	MSHRs       int // 0 means the paper's 5
+	NetBuf      int // network interface buffer entries; 0 means 4
+	LoadDelay   int // cycles; 0 means the paper's 4
+	BranchDelay int // cycles; 0 means LoadDelay
+	SharedWords int // flat shared-memory image size in 8-byte words
+}
+
+// withDefaults fills in the paper's default parameters.
+func (c Config) withDefaults() Config {
+	if c.Assoc == 0 {
+		c.Assoc = 2
+	}
+	if c.MSHRs == 0 {
+		c.MSHRs = 5
+	}
+	if c.NetBuf == 0 {
+		c.NetBuf = 4
+	}
+	if c.LoadDelay == 0 {
+		c.LoadDelay = 4
+	}
+	if c.BranchDelay == 0 {
+		c.BranchDelay = c.LoadDelay
+	}
+	if c.SharedWords == 0 {
+		c.SharedWords = 1 << 20
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Procs < 2 {
+		return fmt.Errorf("machine: need >= 2 processors, got %d", c.Procs)
+	}
+	switch c.LineSize {
+	case 8, 16, 32, 64, 128:
+	default:
+		return fmt.Errorf("machine: unsupported line size %d", c.LineSize)
+	}
+	if c.CacheSize%(c.LineSize*c.Assoc) != 0 {
+		return fmt.Errorf("machine: cache size %d not divisible by %d-way sets of %dB lines",
+			c.CacheSize, c.Assoc, c.LineSize)
+	}
+	return nil
+}
+
+// StackTop is the initial private stack pointer (grows down).
+const StackTop = isa.PrivBase + (1 << 22)
+
+// Result carries everything measured in one run.
+type Result struct {
+	Config  Config
+	Cycles  sim.Cycle // cycle at which the last processor halted
+	CPUs    []cpu.Stats
+	Caches  []cache.Stats
+	Modules []memory.Stats
+	ReqNet  network.Stats
+	RespNet network.Stats
+	Events  uint64 // engine events executed (simulator cost metric)
+}
+
+// Machine is one assembled system plus its shared-memory image.
+type Machine struct {
+	Eng  sim.Engine
+	cfg  Config
+	spec consistency.Spec
+
+	shared  []uint64
+	cpus    []*cpu.CPU
+	caches  []*cache.Cache
+	modules []*memory.Module
+	reqNet  *network.Network
+	respNet *network.Network
+
+	halted int
+	tracer *trace.Recorder
+}
+
+// New builds a machine running the given per-processor programs.
+// len(progs) must equal cfg.Procs; a nil program slot reuses progs[0]
+// (the common SPMD case).
+func New(cfg Config, progs [][]isa.Inst) (*Machine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(progs) != cfg.Procs {
+		return nil, fmt.Errorf("machine: %d programs for %d processors", len(progs), cfg.Procs)
+	}
+	for i := range progs {
+		if progs[i] == nil {
+			if i == 0 {
+				return nil, fmt.Errorf("machine: program 0 must be non-nil")
+			}
+			progs[i] = progs[0]
+		}
+		if err := isa.ValidateProgram(progs[i]); err != nil {
+			return nil, fmt.Errorf("machine: program %d: %w", i, err)
+		}
+	}
+
+	m := &Machine{
+		cfg:    cfg,
+		spec:   consistency.SpecFor(cfg.Model),
+		shared: make([]uint64, cfg.SharedWords),
+	}
+	words := cfg.LineSize / 8
+
+	// Response network: memory -> caches. Data messages bind/install
+	// inside the cache with its own head/tail scheduling.
+	m.respNet = network.New(&m.Eng, cfg.Procs, cfg.NetBuf, func(dst int, nm network.Message) {
+		msg := nm.Payload.(memory.Msg)
+		m.tracer.Record(trace.Event{Cycle: m.Eng.Now(), Kind: trace.RespRecv,
+			Src: nm.Src, Dst: dst, What: msg.Kind.String(), Addr: msg.Line})
+		m.caches[dst].Receive(msg)
+	})
+	// Request network: caches -> memory. Data-carrying messages reach
+	// the module when their tail arrives.
+	m.reqNet = network.New(&m.Eng, cfg.Procs, cfg.NetBuf, func(dst int, nm network.Message) {
+		msg := nm.Payload.(memory.Msg)
+		src := nm.Src
+		m.tracer.Record(trace.Event{Cycle: m.Eng.Now(), Kind: trace.ReqRecv,
+			Src: src, Dst: dst, What: msg.Kind.String(), Addr: msg.Line})
+		if msg.Kind.CarriesData() {
+			m.Eng.After(sim.Cycle(words), func() { m.modules[dst].Receive(src, msg) })
+		} else {
+			m.modules[dst].Receive(src, msg)
+		}
+	})
+
+	m.modules = make([]*memory.Module, cfg.Procs)
+	for i := 0; i < cfg.Procs; i++ {
+		id := i
+		m.modules[i] = memory.NewModule(&m.Eng, id, cfg.LineSize,
+			func(dst int, msg memory.Msg) bool {
+				ok := m.respNet.TrySend(network.Message{
+					Src: id, Dst: dst, Flits: msg.Flits(cfg.LineSize), Payload: msg,
+				})
+				if ok {
+					m.tracer.Record(trace.Event{Cycle: m.Eng.Now(), Kind: trace.RespSend,
+						Src: id, Dst: dst, What: msg.Kind.String(), Addr: msg.Line})
+				}
+				return ok
+			},
+			func(fn func()) { m.respNet.WhenSpace(id, fn) },
+		)
+	}
+
+	m.caches = make([]*cache.Cache, cfg.Procs)
+	for i := 0; i < cfg.Procs; i++ {
+		id := i
+		m.caches[i] = cache.New(&m.Eng, id,
+			cache.Config{Size: cfg.CacheSize, LineSize: cfg.LineSize, Assoc: cfg.Assoc, MSHRs: cfg.MSHRs},
+			func(msg memory.Msg, bypass bool) bool {
+				dst := memory.ModuleFor(msg.Line, cfg.LineSize, cfg.Procs)
+				ok := m.reqNet.TrySend(network.Message{
+					Src: id, Dst: dst, Flits: msg.Flits(cfg.LineSize), Bypass: bypass, Payload: msg,
+				})
+				if ok {
+					m.tracer.Record(trace.Event{Cycle: m.Eng.Now(), Kind: trace.ReqSend,
+						Src: id, Dst: dst, What: msg.Kind.String(), Addr: msg.Line})
+				}
+				return ok
+			},
+			func(fn func()) { m.reqNet.WhenSpace(id, fn) },
+		)
+	}
+
+	m.cpus = make([]*cpu.CPU, cfg.Procs)
+	for i := 0; i < cfg.Procs; i++ {
+		m.cpus[i] = cpu.New(&m.Eng, cpu.Config{
+			ID:          i,
+			Spec:        m.spec,
+			Prog:        progs[i],
+			Cache:       m.caches[i],
+			Mem:         m,
+			LoadDelay:   cfg.LoadDelay,
+			BranchDelay: cfg.BranchDelay,
+			MSHRs:       cfg.MSHRs,
+			OnHalt: func(id int) {
+				m.tracer.Record(trace.Event{Cycle: m.Eng.Now(), Kind: trace.CPUHalt, Src: id})
+				m.halted++
+			},
+		})
+		m.cpus[i].SetReg(isa.RID, uint64(i))
+		m.cpus[i].SetReg(isa.RNP, uint64(cfg.Procs))
+		m.cpus[i].SetReg(isa.RSP, StackTop)
+	}
+	return m, nil
+}
+
+// AttachTracer installs an event recorder; call before Run. A nil
+// machine tracer (the default) records nothing at zero cost.
+func (m *Machine) AttachTracer(r *trace.Recorder) { m.tracer = r }
+
+// ReadWord implements cpu.MemImage over the flat shared image.
+func (m *Machine) ReadWord(addr uint64) uint64 {
+	return m.shared[m.wordIndex(addr)]
+}
+
+// WriteWord implements cpu.MemImage.
+func (m *Machine) WriteWord(addr uint64, v uint64) {
+	m.shared[m.wordIndex(addr)] = v
+}
+
+func (m *Machine) wordIndex(addr uint64) uint64 {
+	if addr%8 != 0 {
+		panic(fmt.Sprintf("machine: unaligned shared access %#x", addr))
+	}
+	i := addr / 8
+	if i >= uint64(len(m.shared)) {
+		panic(fmt.Sprintf("machine: shared address %#x beyond image (%d words)", addr, len(m.shared)))
+	}
+	return i
+}
+
+// Shared returns the flat shared-memory image for workload setup and
+// validation. Index is in words.
+func (m *Machine) Shared() []uint64 { return m.shared }
+
+// CPU returns processor i (tests and workload setup).
+func (m *Machine) CPU(i int) *cpu.CPU { return m.cpus[i] }
+
+// Config returns the effective (defaulted) configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Done reports whether every processor has halted.
+func (m *Machine) Done() bool { return m.halted == m.cfg.Procs }
+
+// Run executes the machine to completion. maxEvents bounds the run (0
+// means a generous default); exceeding it returns an error, which
+// almost always means the simulated program livelocked or deadlocked.
+func (m *Machine) Run(maxEvents uint64) (Result, error) {
+	if maxEvents == 0 {
+		maxEvents = 5_000_000_000
+	}
+	for _, c := range m.cpus {
+		c.Start()
+	}
+	if !m.Eng.RunLimit(m.Done, maxEvents) {
+		return Result{}, fmt.Errorf("machine: run exceeded %d events at cycle %d (halted %d/%d)",
+			maxEvents, m.Eng.Now(), m.halted, m.cfg.Procs)
+	}
+	if !m.Done() {
+		return Result{}, fmt.Errorf("machine: engine quiesced with %d/%d processors halted (deadlock)",
+			m.halted, m.cfg.Procs)
+	}
+	return m.result(), nil
+}
+
+func (m *Machine) result() Result {
+	r := Result{
+		Config: m.cfg,
+		CPUs:   make([]cpu.Stats, m.cfg.Procs),
+		Caches: make([]cache.Stats, m.cfg.Procs),
+		Modules: make([]memory.Stats,
+			m.cfg.Procs),
+		ReqNet:  m.reqNet.Stats(),
+		RespNet: m.respNet.Stats(),
+		Events:  m.Eng.Steps(),
+	}
+	for i := 0; i < m.cfg.Procs; i++ {
+		r.CPUs[i] = m.cpus[i].Stats()
+		r.Caches[i] = m.caches[i].Stats()
+		r.Modules[i] = m.modules[i].Stats()
+		if r.CPUs[i].HaltCycle > r.Cycles {
+			r.Cycles = r.CPUs[i].HaltCycle
+		}
+	}
+	return r
+}

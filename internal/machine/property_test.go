@@ -1,0 +1,244 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memsim/internal/consistency"
+	"memsim/internal/isa"
+	"memsim/internal/progb"
+)
+
+// genRaceFreePrograms builds random data-race-free SPMD-ish programs:
+// each processor mixes private ALU noise, plain accesses to its own
+// exclusive region, read-only accesses to a shared table, and
+// lock-protected increments of shared counters. The expected counter
+// totals are returned for validation.
+func genRaceFreePrograms(rng *rand.Rand, procs int) (progs [][]isa.Inst, counters []uint64, expect []uint64) {
+	const (
+		lockBase    = 0x100 // one lock per counter, 64B apart
+		counterBase = 0x800
+		tableBase   = 0x1000 // read-only shared table
+		regionBase  = 0x4000 // per-CPU exclusive regions
+		regionSize  = 0x400
+		nCounters   = 3
+	)
+	for i := 0; i < nCounters; i++ {
+		counters = append(counters, counterBase+uint64(i)*64)
+	}
+	expect = make([]uint64, nCounters)
+
+	progs = make([][]isa.Inst, procs)
+	for cpu := 0; cpu < procs; cpu++ {
+		b := progb.New()
+		region := b.Alloc()
+		v := b.Alloc()
+		addr := b.Alloc()
+		b.LiU(region, regionBase+uint64(cpu)*regionSize)
+
+		nops := 10 + rng.Intn(30)
+		for i := 0; i < nops; i++ {
+			switch rng.Intn(6) {
+			case 0: // private ALU noise
+				b.Addi(v, v, int64(rng.Intn(100)))
+			case 1: // store to own region
+				off := int64(rng.Intn(regionSize/8)) * 8
+				b.Li(v, int64(rng.Intn(1000)))
+				b.St(region, off, v)
+			case 2: // load from own region
+				off := int64(rng.Intn(regionSize/8)) * 8
+				b.Ld(v, region, off)
+			case 3: // read-only shared table load
+				b.LiU(addr, tableBase+uint64(rng.Intn(64))*8)
+				b.Ld(v, addr, 0)
+			case 4, 5: // lock-protected counter increment
+				c := rng.Intn(nCounters)
+				expect[c]++
+				lock := b.Alloc()
+				b.LiU(lock, lockBase+uint64(c)*64)
+				emitTestLock(b, lock)
+				b.LiU(addr, counters[c])
+				b.Ld(v, addr, 0)
+				b.Addi(v, v, 1)
+				b.St(addr, 0, v)
+				b.StC(lock, 0, isa.R0, isa.ClassRelease)
+				b.Free(lock)
+			}
+		}
+		b.Halt()
+		progs[cpu] = b.MustBuild()
+	}
+	return progs, counters, expect
+}
+
+// emitTestLock is a minimal test-and-test-and-set acquire (a local
+// copy so the machine tests stay independent of the workloads
+// package's tuning).
+func emitTestLock(b *progb.Builder, lock isa.Reg) {
+	t := b.Alloc()
+	defer b.Free(t)
+	try := b.Here()
+	got := b.NewLabel()
+	b.Tas(t, lock, 0, isa.ClassAcquire)
+	b.Beq(t, isa.R0, got)
+	spin := b.Here()
+	b.LdC(t, lock, 0, isa.ClassAcquire)
+	b.Bne(t, isa.R0, spin)
+	b.Jmp(try)
+	b.Bind(got)
+}
+
+// runToQuiescence runs the machine and then drains remaining events
+// (final write-backs) so coherence invariants can be checked.
+func runToQuiescence(m *Machine) (Result, error) {
+	res, err := m.Run(200_000_000)
+	if err != nil {
+		return res, err
+	}
+	m.Eng.Run(nil)
+	return res, nil
+}
+
+// TestQuickModelsAgreeOnRandomRaceFreePrograms is the central
+// correctness property: for any data-race-free program, every
+// consistency model implementation must produce identical shared
+// memory, and the coherence protocol must end in a consistent state.
+func TestQuickModelsAgreeOnRandomRaceFreePrograms(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		procs := 4 + rng.Intn(5) // 4..8
+		lineSize := []int{8, 16, 64}[rng.Intn(3)]
+		cacheSize := []int{512, 1024, 4096}[rng.Intn(3)]
+		progs, counters, expect := genRaceFreePrograms(rng, procs)
+
+		var want []uint64
+		for _, model := range consistency.Models {
+			cfg := Config{
+				Procs: procs, Model: model,
+				CacheSize: cacheSize, LineSize: lineSize,
+				SharedWords: 1 << 14,
+			}
+			progsCopy := make([][]isa.Inst, len(progs))
+			copy(progsCopy, progs)
+			m, err := New(cfg, progsCopy)
+			if err != nil {
+				t.Logf("seed %d %v: %v", seed, model, err)
+				return false
+			}
+			// Seed the read-only table.
+			for i := 0; i < 64; i++ {
+				m.WriteWord(0x1000+uint64(i)*8, uint64(i*7+1))
+			}
+			if _, err := runToQuiescence(m); err != nil {
+				t.Logf("seed %d %v: %v", seed, model, err)
+				return false
+			}
+			if err := m.CheckCoherence(); err != nil {
+				t.Logf("seed %d %v: coherence: %v", seed, model, err)
+				return false
+			}
+			for i, addr := range counters {
+				if got := m.ReadWord(addr); got != expect[i] {
+					t.Logf("seed %d %v: counter %d = %d, want %d", seed, model, i, got, expect[i])
+					return false
+				}
+			}
+			mem := append([]uint64(nil), m.Shared()...)
+			if want == nil {
+				want = mem
+				continue
+			}
+			for i := range mem {
+				if mem[i] != want[i] {
+					t.Logf("seed %d %v: word %#x differs: %d vs %d", seed, model, i*8, mem[i], want[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfgQ := &quick.Config{MaxCount: 12}
+	if testing.Short() {
+		cfgQ.MaxCount = 3
+	}
+	if err := quick.Check(f, cfgQ); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCoherenceInvariantsUnderContention drives heavy false
+// sharing: all CPUs hammer the same few lines under locks, then the
+// invariants must hold.
+func TestQuickCoherenceInvariantsUnderContention(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		procs := 4
+		progs := make([][]isa.Inst, procs)
+		for cpu := 0; cpu < procs; cpu++ {
+			b := progb.New()
+			lock := b.Alloc()
+			v := b.Alloc()
+			addr := b.Alloc()
+			b.LiU(lock, 0x100)
+			n := 3 + rng.Intn(6)
+			for i := 0; i < n; i++ {
+				emitTestLock(b, lock)
+				// Touch several words of two contended lines.
+				for j := 0; j < 3; j++ {
+					off := uint64(rng.Intn(16)) * 8
+					b.LiU(addr, 0x800+off)
+					b.Ld(v, addr, 0)
+					b.Addi(v, v, 1)
+					b.St(addr, 0, v)
+				}
+				b.StC(lock, 0, isa.R0, isa.ClassRelease)
+			}
+			b.Halt()
+			progs[cpu] = b.MustBuild()
+		}
+		for _, model := range []consistency.Model{consistency.SC1, consistency.WO1, consistency.RC} {
+			cfg := Config{Procs: procs, Model: model, CacheSize: 512, LineSize: 64, SharedWords: 1 << 12}
+			m, err := New(cfg, append([][]isa.Inst(nil), progs...))
+			if err != nil {
+				return false
+			}
+			if _, err := runToQuiescence(m); err != nil {
+				t.Logf("seed %d %v: %v", seed, model, err)
+				return false
+			}
+			if err := m.CheckCoherence(); err != nil {
+				t.Logf("seed %d %v: %v", seed, model, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWorkloadsPreserveCoherenceInvariants runs each real benchmark
+// small and checks the post-run protocol state.
+func TestWorkloadsPreserveCoherenceInvariants(t *testing.T) {
+	// Built via the machine-level spinlock program from machine_test
+	// plus per-CPU streaming, representative of the benchmarks without
+	// importing the workloads package (which would be circular in
+	// spirit, though legal).
+	prog := spinlockIncrement(0x100, 0x800)
+	for _, model := range consistency.Models {
+		cfg := cfg16()
+		cfg.Model = model
+		m, err := New(cfg, sameProg(16, prog))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := runToQuiescence(m); err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if err := m.CheckCoherence(); err != nil {
+			t.Errorf("%v: %v", model, err)
+		}
+	}
+}

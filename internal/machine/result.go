@@ -1,0 +1,120 @@
+package machine
+
+// Aggregated views over a Result. Rates are in [0,1]; callers format
+// them as percentages.
+
+// TotalReads sums shared read references across processors.
+func (r Result) TotalReads() uint64 {
+	var n uint64
+	for _, c := range r.Caches {
+		n += c.Reads
+	}
+	return n
+}
+
+// TotalWrites sums shared write references (stores + test-and-sets).
+func (r Result) TotalWrites() uint64 {
+	var n uint64
+	for _, c := range r.Caches {
+		n += c.Writes
+	}
+	return n
+}
+
+// ReadHitRate is the machine-wide shared read hit ratio.
+func (r Result) ReadHitRate() float64 {
+	var hits, refs uint64
+	for _, c := range r.Caches {
+		hits += c.ReadHits
+		refs += c.Reads
+	}
+	return ratio(hits, refs)
+}
+
+// WriteHitRate is the machine-wide shared write hit ratio.
+func (r Result) WriteHitRate() float64 {
+	var hits, refs uint64
+	for _, c := range r.Caches {
+		hits += c.WriteHits
+		refs += c.Writes
+	}
+	return ratio(hits, refs)
+}
+
+// HitRate is the machine-wide shared-access hit ratio (reads+writes),
+// the paper's Table 2 metric.
+func (r Result) HitRate() float64 {
+	var hits, refs uint64
+	for _, c := range r.Caches {
+		hits += c.ReadHits + c.WriteHits
+		refs += c.Reads + c.Writes
+	}
+	return ratio(hits, refs)
+}
+
+// InvalidationMissFraction is the share of misses caused by coherence
+// invalidations (Psim's signature property, §3.3).
+func (r Result) InvalidationMissFraction() float64 {
+	var invMiss, miss uint64
+	for _, c := range r.Caches {
+		invMiss += c.InvalidationMisses
+		miss += (c.Reads - c.ReadHits) + (c.Writes - c.WriteHits)
+	}
+	return ratio(invMiss, miss)
+}
+
+// SyncOps sums synchronization operations across processors.
+func (r Result) SyncOps() uint64 {
+	var n uint64
+	for _, c := range r.CPUs {
+		n += c.SyncOps
+	}
+	return n
+}
+
+// Instructions sums executed instructions.
+func (r Result) Instructions() uint64 {
+	var n uint64
+	for _, c := range r.CPUs {
+		n += c.Instructions
+	}
+	return n
+}
+
+// ModuleUtilizationSpread returns max/min busy-cycle ratio across
+// memory modules (>= 1); Psim's skewed placement drives this up.
+func (r Result) ModuleUtilizationSpread() float64 {
+	if len(r.Modules) == 0 {
+		return 1
+	}
+	min, max := r.Modules[0].BusyCycles, r.Modules[0].BusyCycles
+	for _, m := range r.Modules[1:] {
+		if m.BusyCycles < min {
+			min = m.BusyCycles
+		}
+		if m.BusyCycles > max {
+			max = m.BusyCycles
+		}
+	}
+	if min == 0 {
+		min = 1
+	}
+	return float64(max) / float64(min)
+}
+
+// GainOver returns the relative performance gain of this result over a
+// baseline run of the same workload: positive when this run is faster.
+// This is the paper's Figures 4-8 y-axis: (base - this) / base.
+func (r Result) GainOver(base Result) float64 {
+	if base.Cycles == 0 {
+		return 0
+	}
+	return (float64(base.Cycles) - float64(r.Cycles)) / float64(base.Cycles)
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

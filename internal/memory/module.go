@@ -1,0 +1,435 @@
+package memory
+
+import (
+	"fmt"
+
+	"memsim/internal/sim"
+)
+
+// Timing constants. InitiateCycles is the paper's seven-cycle RAM
+// initiation; LookupCycles covers the directory lookup and is the
+// calibration knob that makes an uncontended read miss deliver its
+// first word 18 cycles after the cache issues it on a 16-processor
+// machine (20 cycles at 32 processors) — asserted by a machine test.
+const (
+	InitiateCycles = 7
+	LookupCycles   = 4
+	// AckCycles is the directory occupancy for processing one
+	// invalidation acknowledgment.
+	AckCycles = 1
+)
+
+// dirState is the stable directory state of one line.
+type dirState uint8
+
+const (
+	uncached dirState = iota
+	sharedSt
+	dirtySt
+	busySt
+)
+
+// txKind describes what a busy directory entry is waiting for.
+type txKind uint8
+
+const (
+	txNone       txKind = iota
+	txAwaitAck          // counting invalidation acks
+	txAwaitFlush        // waiting for the dirty owner's flush
+)
+
+// entry is one full-map directory entry plus transient transaction
+// bookkeeping.
+type entry struct {
+	state   dirState
+	sharers uint64 // bitmask of caches holding the line (Shared)
+	owner   int    // exclusive owner (Dirty)
+
+	// Busy transaction state.
+	tx        txKind
+	acksLeft  int
+	requester int
+	grant     MsgKind  // DataShared or DataExclusive to send when done
+	nextState dirState // state to install on completion
+	pending   []request
+}
+
+// request is a queued protocol request.
+type request struct {
+	src int
+	msg Msg
+}
+
+// Stats counts module activity.
+type Stats struct {
+	Reads        uint64 // ReadReq served
+	Writes       uint64 // WriteReq served
+	WriteBacks   uint64
+	Recalls      uint64 // recall round trips initiated
+	Invalidates  uint64 // invalidation messages sent
+	BusyCycles   uint64 // cycles the module was occupied
+	QueuedCycles uint64 // total cycles requests waited in the input queue
+}
+
+// Module is one global memory module with its directory slice.
+//
+// The machine layer provides send: it must enqueue a response-network
+// message and report acceptance; on false the module registers retry
+// via whenSpace. Exactly one message is in the module's send hand at a
+// time.
+type Module struct {
+	eng       *sim.Engine
+	id        int
+	lineSize  int
+	words     int
+	send      func(dst int, m Msg) bool
+	whenSpace func(fn func())
+
+	dir  map[uint64]*entry
+	inq  []queued
+	busy bool
+
+	// outq holds messages waiting for response-network buffer space.
+	outq []outMsg
+
+	stats     Stats
+	busySince sim.Cycle
+}
+
+type queued struct {
+	req request
+	at  sim.Cycle
+}
+
+type outMsg struct {
+	dst  int
+	msg  Msg
+	then func() // runs once the message is accepted by the network
+}
+
+// NewModule creates module id. send injects into the response network
+// (returning false when its entrance buffer is full); whenSpace
+// registers a one-shot callback for when space frees.
+func NewModule(eng *sim.Engine, id, lineSize int, send func(dst int, m Msg) bool, whenSpace func(fn func())) *Module {
+	return &Module{
+		eng:       eng,
+		id:        id,
+		lineSize:  lineSize,
+		words:     lineSize / 8,
+		send:      send,
+		whenSpace: whenSpace,
+		dir:       make(map[uint64]*entry),
+	}
+}
+
+// Stats returns a copy of the activity counters.
+func (m *Module) Stats() Stats { return m.stats }
+
+// Receive accepts one protocol message from a cache (delivered by the
+// request network). src is the sending cache's endpoint id. Data
+// messages are considered fully received when Receive is called: the
+// machine layer delays delivery until the tail flit has arrived.
+func (m *Module) Receive(src int, msg Msg) {
+	switch msg.Kind {
+	case ReadReq, WriteReq, WriteBack, FlushInv, FlushShare, InvAck:
+		m.inq = append(m.inq, queued{request{src, msg}, m.eng.Now()})
+		m.kick()
+	default:
+		panic(fmt.Sprintf("memory: module received %s", msg.Kind))
+	}
+}
+
+// kick starts processing the next queued request if idle.
+func (m *Module) kick() {
+	if m.busy || len(m.inq) == 0 {
+		return
+	}
+	q := m.inq[0]
+	m.inq = m.inq[1:]
+	m.stats.QueuedCycles += uint64(m.eng.Now() - q.at)
+	m.process(q.req)
+}
+
+// setBusy occupies the module for d cycles and then runs fn.
+func (m *Module) setBusy(d sim.Cycle, fn func()) {
+	if m.busy {
+		panic("memory: module already busy")
+	}
+	m.busy = true
+	m.busySince = m.eng.Now()
+	m.eng.After(d, func() {
+		m.busy = false
+		m.stats.BusyCycles += uint64(m.eng.Now() - m.busySince)
+		if fn != nil {
+			fn()
+		}
+		m.kick()
+	})
+}
+
+// entryFor returns (creating if needed) the directory entry.
+func (m *Module) entryFor(line uint64) *entry {
+	e := m.dir[line]
+	if e == nil {
+		e = &entry{state: uncached}
+		m.dir[line] = e
+	}
+	return e
+}
+
+// process handles one dequeued request.
+func (m *Module) process(r request) {
+	e := m.entryFor(r.msg.Line)
+	if e.state == busySt && (r.msg.Kind == ReadReq || r.msg.Kind == WriteReq) {
+		// The line is mid-transaction; park the request. Write-backs
+		// and completions must still reach the busy entry.
+		e.pending = append(e.pending, r)
+		m.kick()
+		return
+	}
+	switch r.msg.Kind {
+	case ReadReq:
+		m.stats.Reads++
+		m.processRead(r, e)
+	case WriteReq:
+		m.stats.Writes++
+		m.processWrite(r, e)
+	case WriteBack:
+		m.stats.WriteBacks++
+		m.processWriteBack(r, e)
+	case FlushInv, FlushShare, InvAck:
+		m.completion(r.src, r.msg)
+	default:
+		panic(fmt.Sprintf("memory: process %s", r.msg.Kind))
+	}
+}
+
+func (m *Module) processRead(r request, e *entry) {
+	line := r.msg.Line
+	switch e.state {
+	case uncached, sharedSt:
+		e.state = sharedSt
+		e.sharers |= 1 << uint(r.src)
+		m.serveData(r.src, Msg{DataShared, line})
+	case dirtySt:
+		// Recall the dirty line; the owner downgrades to Shared.
+		m.stats.Recalls++
+		owner := e.owner
+		e.state = busySt
+		e.tx = txAwaitFlush
+		e.requester = r.src
+		e.grant = DataShared
+		e.nextState = sharedSt
+		e.sharers = (1 << uint(owner)) | (1 << uint(r.src))
+		m.setBusy(LookupCycles, func() {
+			m.enqueueOut(owner, Msg{RecallShare, line}, nil)
+		})
+	default:
+		panic("memory: read in busy state")
+	}
+}
+
+func (m *Module) processWrite(r request, e *entry) {
+	line := r.msg.Line
+	switch e.state {
+	case uncached:
+		e.state = dirtySt
+		e.owner = r.src
+		m.serveData(r.src, Msg{DataExclusive, line})
+	case sharedSt:
+		// Invalidate every sharer except the requester (which dropped
+		// its own copy before requesting ownership), then grant.
+		others := e.sharers &^ (1 << uint(r.src))
+		if others == 0 {
+			e.state = dirtySt
+			e.owner = r.src
+			e.sharers = 0
+			m.serveData(r.src, Msg{DataExclusive, line})
+			return
+		}
+		e.state = busySt
+		e.tx = txAwaitAck
+		e.requester = r.src
+		e.grant = DataExclusive
+		e.nextState = dirtySt
+		var targets []int
+		for i := 0; i < 64; i++ {
+			if others&(1<<uint(i)) != 0 {
+				targets = append(targets, i)
+			}
+		}
+		e.acksLeft = len(targets)
+		e.sharers = 0
+		e.owner = r.src
+		m.stats.Invalidates += uint64(len(targets))
+		m.setBusy(LookupCycles, func() {
+			for _, t := range targets {
+				m.enqueueOut(t, Msg{Invalidate, line}, nil)
+			}
+		})
+	case dirtySt:
+		m.stats.Recalls++
+		owner := e.owner
+		e.state = busySt
+		e.tx = txAwaitFlush
+		e.requester = r.src
+		e.grant = DataExclusive
+		e.nextState = dirtySt
+		e.owner = r.src
+		e.sharers = 0
+		m.setBusy(LookupCycles, func() {
+			m.enqueueOut(owner, Msg{RecallInv, line}, nil)
+		})
+	default:
+		panic("memory: write in busy state")
+	}
+}
+
+func (m *Module) processWriteBack(r request, e *entry) {
+	// A write-back can only come from the dirty owner. It can race
+	// with a recall (the directory may already be Busy awaiting the
+	// flush); in that case the data has now arrived and the pending
+	// InvAck from the ex-owner will complete the transaction.
+	switch e.state {
+	case dirtySt:
+		if e.owner != r.src {
+			panic("memory: write-back from non-owner")
+		}
+		e.state = uncached
+		e.owner = 0
+		e.sharers = 0
+		m.setBusy(sim.Cycle(LookupCycles+InitiateCycles+m.words), nil)
+	case busySt:
+		// Race: the directory recalled the line while this write-back
+		// was in flight. Count the RAM write time but leave the
+		// transaction waiting for the ex-owner's InvAck.
+		if e.tx != txAwaitFlush {
+			panic("memory: write-back during invalidation transaction")
+		}
+		m.setBusy(sim.Cycle(LookupCycles+InitiateCycles+m.words), nil)
+	default:
+		panic(fmt.Sprintf("memory: write-back in state %d", e.state))
+	}
+}
+
+// serveData occupies the module for a full line access and sends the
+// grant: lookup + initiation, first word on the network, then one busy
+// cycle per word while the line streams.
+func (m *Module) serveData(dst int, msg Msg) {
+	m.setBusy(sim.Cycle(LookupCycles+InitiateCycles+m.words), nil)
+	m.eng.After(LookupCycles+InitiateCycles, func() {
+		m.enqueueOut(dst, msg, nil)
+	})
+}
+
+// completion handles FlushInv/FlushShare/InvAck for a busy entry.
+func (m *Module) completion(src int, msg Msg) {
+	e := m.dir[msg.Line]
+	if e == nil || e.state != busySt {
+		panic(fmt.Sprintf("memory: %s for non-busy line %#x", msg.Kind, msg.Line))
+	}
+	switch msg.Kind {
+	case FlushInv, FlushShare:
+		if e.tx != txAwaitFlush {
+			panic("memory: flush without recall")
+		}
+		m.finishTx(e, msg.Line)
+	case InvAck:
+		switch e.tx {
+		case txAwaitAck:
+			e.acksLeft--
+			if e.acksLeft > 0 {
+				m.whenIdle(AckCycles, nil)
+				return
+			}
+			m.finishTx(e, msg.Line)
+		case txAwaitFlush:
+			// The owner no longer had the line (clean silent eviction,
+			// or its write-back already arrived). Memory's copy is
+			// current; complete from RAM.
+			m.finishTx(e, msg.Line)
+		default:
+			panic("memory: unexpected InvAck")
+		}
+	}
+}
+
+// finishTx completes a busy transaction: the module writes/re-reads
+// RAM and grants the line to the requester. The grant's first word
+// leaves after lookup+initiation while the module stays busy streaming
+// the rest; parked requests replay once the line leaves Busy.
+func (m *Module) finishTx(e *entry, line uint64) {
+	grant := e.grant
+	req := e.requester
+	next := e.nextState
+	e.tx = txNone
+	total := sim.Cycle(LookupCycles + InitiateCycles + m.words)
+	head := sim.Cycle(LookupCycles + InitiateCycles)
+	m.occupyWhenIdle(total, head, func() {
+		e.state = next
+		m.enqueueOut(req, Msg{grant, line}, nil)
+		m.replayPending(e)
+	})
+}
+
+// replayPending re-injects requests parked behind a busy entry.
+func (m *Module) replayPending(e *entry) {
+	if len(e.pending) == 0 {
+		return
+	}
+	p := e.pending
+	e.pending = nil
+	// Re-queue at the front in arrival order.
+	old := m.inq
+	m.inq = nil
+	for _, r := range p {
+		m.inq = append(m.inq, queued{r, m.eng.Now()})
+	}
+	m.inq = append(m.inq, old...)
+	m.kick()
+}
+
+// whenIdle occupies the module for d cycles as soon as it is free (it
+// may be busy finishing a previous occupancy), then runs fn.
+func (m *Module) whenIdle(d sim.Cycle, fn func()) {
+	if !m.busy {
+		m.setBusy(d, fn)
+		return
+	}
+	m.eng.After(1, func() { m.whenIdle(d, fn) })
+}
+
+// occupyWhenIdle occupies the module for total cycles as soon as it is
+// free and runs atHead after the first head cycles of that occupancy
+// (when the first word of a line is ready to leave).
+func (m *Module) occupyWhenIdle(total, head sim.Cycle, atHead func()) {
+	if !m.busy {
+		m.setBusy(total, nil)
+		m.eng.After(head, atHead)
+		return
+	}
+	m.eng.After(1, func() { m.occupyWhenIdle(total, head, atHead) })
+}
+
+// enqueueOut hands a message to the response network, retrying when
+// the entrance buffer is full. then (optional) runs on acceptance.
+func (m *Module) enqueueOut(dst int, msg Msg, then func()) {
+	m.outq = append(m.outq, outMsg{dst, msg, then})
+	if len(m.outq) == 1 {
+		m.drainOut()
+	}
+}
+
+func (m *Module) drainOut() {
+	for len(m.outq) > 0 {
+		o := m.outq[0]
+		if !m.send(o.dst, o.msg) {
+			m.whenSpace(func() { m.drainOut() })
+			return
+		}
+		m.outq = m.outq[1:]
+		if o.then != nil {
+			o.then()
+		}
+	}
+}

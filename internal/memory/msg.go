@@ -1,0 +1,109 @@
+// Package memory implements the global memory modules of the simulated
+// machine, including the full-map directory cache-coherence protocol
+// (Censier & Feautrier) the paper's architecture uses.
+//
+// Each module owns an interleaved slice of the shared address space
+// (consecutive lines rotate across modules). A module serves one
+// request at a time: a directory lookup plus RAM initiation takes
+// LookupCycles + InitiateCycles, after which the first word of a line
+// is put on the response network and the module stays busy one cycle
+// per 8-byte word while the rest of the line streams out (§3.1 of the
+// paper). Lines that are dirty in another cache, or shared when
+// requested for write, pay additional recall/invalidate round trips.
+//
+// Modules move no data values: the simulator keeps the authoritative
+// shared memory image in the machine layer and binds values at the
+// caches when accesses perform, so coherence traffic here is purely a
+// timing model. The directory state machine is nevertheless complete
+// (and tested): Uncached / Shared / Dirty plus a Busy transient with a
+// pending-request queue, invalidation-ack collection, dirty-line
+// recalls, and tolerance of the write-back races that silent clean
+// evictions make possible.
+package memory
+
+import "fmt"
+
+// MsgKind enumerates coherence protocol messages. The first group
+// travels cache-to-memory on the request network, the second
+// memory-to-cache on the response network.
+type MsgKind uint8
+
+const (
+	// Cache -> memory.
+	ReadReq    MsgKind = iota // fetch line for reading (1 flit)
+	WriteReq                  // fetch line with ownership (1 flit)
+	WriteBack                 // evict dirty line, data (1+words flits)
+	FlushInv                  // recall reply: data, owner invalidated (1+words)
+	FlushShare                // recall reply: data, owner downgraded (1+words)
+	InvAck                    // invalidate acknowledged / recall found no line (1 flit)
+
+	// Memory -> cache.
+	DataShared    // line granted read-only (1+words flits)
+	DataExclusive // line granted with ownership (1+words flits)
+	Invalidate    // drop the line, then InvAck (1 flit)
+	RecallInv     // return the line with FlushInv or InvAck (1 flit)
+	RecallShare   // return the line with FlushShare or InvAck (1 flit)
+
+	numMsgKinds
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case ReadReq:
+		return "ReadReq"
+	case WriteReq:
+		return "WriteReq"
+	case WriteBack:
+		return "WriteBack"
+	case FlushInv:
+		return "FlushInv"
+	case FlushShare:
+		return "FlushShare"
+	case InvAck:
+		return "InvAck"
+	case DataShared:
+		return "DataShared"
+	case DataExclusive:
+		return "DataExclusive"
+	case Invalidate:
+		return "Invalidate"
+	case RecallInv:
+		return "RecallInv"
+	case RecallShare:
+		return "RecallShare"
+	}
+	return fmt.Sprintf("msg(%d)", uint8(k))
+}
+
+// CarriesData reports whether the message includes a full cache line
+// and therefore occupies 1+words flits instead of 1.
+func (k MsgKind) CarriesData() bool {
+	switch k {
+	case WriteBack, FlushInv, FlushShare, DataShared, DataExclusive:
+		return true
+	}
+	return false
+}
+
+// Msg is one coherence message. The endpoint ids ride in the network
+// envelope; Line is the line-aligned byte address.
+type Msg struct {
+	Kind MsgKind
+	Line uint64
+}
+
+// Flits returns the network occupancy of the message for the given
+// line size in bytes: one header flit plus, for data messages, one
+// flit per 8-byte word.
+func (m Msg) Flits(lineSize int) int {
+	if m.Kind.CarriesData() {
+		return 1 + lineSize/8
+	}
+	return 1
+}
+
+// ModuleFor maps a line-aligned address to its home module under
+// line-interleaved placement.
+func ModuleFor(line uint64, lineSize, modules int) int {
+	return int((line / uint64(lineSize)) % uint64(modules))
+}

@@ -1,0 +1,40 @@
+package memory
+
+import "fmt"
+
+// DirSnapshot describes one directory entry for diagnostics and
+// invariant checking.
+type DirSnapshot struct {
+	Line    uint64
+	State   string // "uncached", "shared", "dirty", "busy"
+	Sharers uint64 // bitmask
+	Owner   int
+	Pending int // parked requests
+}
+
+// SnapshotDir returns every directory entry. Intended for post-run
+// invariant checks; not part of the timing model.
+func (m *Module) SnapshotDir() []DirSnapshot {
+	var out []DirSnapshot
+	for line, e := range m.dir {
+		s := DirSnapshot{Line: line, Sharers: e.sharers, Owner: e.owner, Pending: len(e.pending)}
+		switch e.state {
+		case uncached:
+			s.State = "uncached"
+		case sharedSt:
+			s.State = "shared"
+		case dirtySt:
+			s.State = "dirty"
+		case busySt:
+			s.State = "busy"
+		default:
+			s.State = fmt.Sprintf("state(%d)", e.state)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Idle reports whether the module has no queued work and no occupancy
+// (used to assert full quiescence after a run).
+func (m *Module) Idle() bool { return !m.busy && len(m.inq) == 0 && len(m.outq) == 0 }

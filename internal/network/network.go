@@ -1,0 +1,228 @@
+// Package network models the two multistage Omega interconnection
+// networks of the simulated machine (one for processor-to-memory
+// requests, one for memory-to-processor responses).
+//
+// The network is built from 4x4 switches: a machine with P endpoints
+// uses n = ceil(log4 P) stages of output-port links. Routing is the
+// classic Omega digit-replacement scheme, so every (source,
+// destination) pair has exactly one path and messages between a pair
+// are delivered in FIFO order.
+//
+// Timing follows the paper's §3.1: every stage is pipelined at one
+// cycle per 8-byte flit, so a message of F flits occupies each link it
+// crosses for F cycles while its head advances one stage per cycle
+// (virtual cut-through with buffering at a blocked stage). A 4-entry
+// buffer sits between each source and the first stage; when it fills
+// the sender must hold the message and retry, which is how network
+// back-pressure reaches the caches and memory modules.
+//
+// For the WO2 model, a message marked Bypass enters at the head of its
+// entrance buffer, ahead of anything queued there (but not ahead of a
+// message already being transmitted). This reproduces the paper's
+// "simple, but slightly flawed" implementation in which a load could
+// also bypass a queued load (§4.2.3).
+package network
+
+import (
+	"fmt"
+
+	"memsim/internal/sim"
+)
+
+// Message is one packet traversing the network. Payload is opaque to
+// the network; the machine layer wires typed payloads to receivers.
+type Message struct {
+	Src, Dst int  // endpoint indices in [0, Ports)
+	Flits    int  // link occupancy in cycles (1 flit = 8 bytes)
+	Bypass   bool // enter at the head of the entrance buffer (WO2 loads)
+	Payload  interface{}
+}
+
+// Stats aggregates traffic counters for one network.
+type Stats struct {
+	Messages     uint64 // messages delivered
+	Flits        uint64 // flits injected
+	Bypasses     uint64 // messages that entered ahead of >=1 queued message
+	BypassedOver uint64 // total queued messages jumped over
+	QueueDelay   uint64 // cycles messages spent waiting for busy links
+	Retries      uint64 // TrySend calls rejected because the buffer was full
+}
+
+// port is one link resource: an output port of a switch (or the
+// entrance buffer serving a source). Service rate is one flit/cycle.
+type port struct {
+	queue []*transit
+	busy  bool
+}
+
+// transit is a message in flight plus its progress bookkeeping.
+type transit struct {
+	msg    Message
+	hop    int       // next hop index to be serviced: 0=entrance, 1..n=stages
+	queued sim.Cycle // when it joined the current queue (for QueueDelay)
+}
+
+// Network is one Omega network instance.
+type Network struct {
+	eng    *sim.Engine
+	ports  int // logical endpoints
+	padded int // ports padded up to a power of 4
+	stages int
+	bufCap int
+
+	entrance []port   // one per source
+	links    [][]port // [stage][link index within padded ports]
+
+	deliver func(dst int, m Message)
+	onSpace []func() // per-source callback when entrance space frees
+
+	stats Stats
+}
+
+// New creates a network with the given endpoint count and entrance
+// buffer capacity. deliver is invoked when a message's head arrives at
+// its destination; the tail arrives Flits-1 cycles later (receivers
+// that care, e.g. a cache waiting for a whole line, add that
+// themselves).
+func New(eng *sim.Engine, ports, bufCap int, deliver func(dst int, m Message)) *Network {
+	if ports < 2 {
+		panic(fmt.Sprintf("network: need at least 2 ports, got %d", ports))
+	}
+	if bufCap < 1 {
+		panic(fmt.Sprintf("network: buffer capacity must be >= 1, got %d", bufCap))
+	}
+	padded, stages := 4, 1
+	for padded < ports {
+		padded *= 4
+		stages++
+	}
+	n := &Network{
+		eng:      eng,
+		ports:    ports,
+		padded:   padded,
+		stages:   stages,
+		bufCap:   bufCap,
+		entrance: make([]port, ports),
+		links:    make([][]port, stages),
+		deliver:  deliver,
+		onSpace:  make([]func(), ports),
+	}
+	for s := range n.links {
+		n.links[s] = make([]port, padded)
+	}
+	return n
+}
+
+// Ports returns the number of endpoints.
+func (n *Network) Ports() int { return n.ports }
+
+// Stages returns the number of switch stages (ceil(log4 ports)).
+func (n *Network) Stages() int { return n.stages }
+
+// Stats returns a copy of the traffic counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// HeadLatency is the uncontended cycles from TrySend to head delivery:
+// one cycle through the entrance buffer plus one per stage.
+func (n *Network) HeadLatency() int { return n.stages + 1 }
+
+// linkAfter computes the Omega link index used after stage k (0-based)
+// for a source/destination pair: the top 2(k+1) bits of the running
+// address have been replaced by destination digits.
+func (n *Network) linkAfter(src, dst, k int) int {
+	shift := uint(2 * (n.stages - k - 1))
+	mask := n.padded - 1
+	return ((src << uint(2*(k+1))) | (dst >> shift)) & mask
+}
+
+// WhenSpace registers fn to be called (once per registration) the next
+// time the entrance buffer for src has a free slot. Used by senders
+// whose TrySend was rejected.
+func (n *Network) WhenSpace(src int, fn func()) {
+	if n.onSpace[src] != nil {
+		panic("network: WhenSpace already registered for source")
+	}
+	n.onSpace[src] = fn
+}
+
+// TrySend injects a message. It returns false, without side effects,
+// if the source's entrance buffer is full; the sender should register
+// a WhenSpace callback and retry.
+func (n *Network) TrySend(m Message) bool {
+	if m.Src < 0 || m.Src >= n.ports || m.Dst < 0 || m.Dst >= n.ports {
+		panic(fmt.Sprintf("network: endpoint out of range in %+v", m))
+	}
+	if m.Flits < 1 {
+		panic(fmt.Sprintf("network: message with %d flits", m.Flits))
+	}
+	p := &n.entrance[m.Src]
+	if len(p.queue) >= n.bufCap {
+		n.stats.Retries++
+		return false
+	}
+	t := &transit{msg: m, hop: 0, queued: n.eng.Now()}
+	if m.Bypass && len(p.queue) > 0 {
+		n.stats.Bypasses++
+		n.stats.BypassedOver += uint64(len(p.queue))
+		p.queue = append([]*transit{t}, p.queue...)
+	} else {
+		p.queue = append(p.queue, t)
+	}
+	n.stats.Flits += uint64(m.Flits)
+	n.kick(p, m.Src)
+	return true
+}
+
+// portAt resolves the port resource for a transit at a given hop.
+// Hop 0 is the entrance buffer; hop 1..stages are switch output links.
+func (n *Network) portAt(t *transit) *port {
+	if t.hop == 0 {
+		return &n.entrance[t.msg.Src]
+	}
+	stage := t.hop - 1
+	return &n.links[stage][n.linkAfter(t.msg.Src, t.msg.Dst, stage)]
+}
+
+// kick starts service on a port if it is idle and has queued traffic.
+// entranceSrc >= 0 identifies entrance ports so that freeing a slot can
+// notify a blocked sender.
+func (n *Network) kick(p *port, entranceSrc int) {
+	if p.busy || len(p.queue) == 0 {
+		return
+	}
+	t := p.queue[0]
+	p.queue = p.queue[1:]
+	p.busy = true
+	n.stats.QueueDelay += uint64(n.eng.Now() - t.queued)
+	flits := sim.Cycle(t.msg.Flits)
+
+	// Head advances to the next hop one cycle after service starts.
+	n.eng.After(1, func() { n.advance(t) })
+	// The link is busy for the full message length.
+	n.eng.After(flits, func() {
+		p.busy = false
+		n.kick(p, entranceSrc)
+	})
+	if entranceSrc >= 0 {
+		// A slot freed the moment the head left the queue.
+		if fn := n.onSpace[entranceSrc]; fn != nil {
+			n.onSpace[entranceSrc] = nil
+			// Run after the pop so the retry sees the free slot.
+			n.eng.After(0, fn)
+		}
+	}
+}
+
+// advance moves a transit's head to its next hop or delivers it.
+func (n *Network) advance(t *transit) {
+	t.hop++
+	if t.hop > n.stages {
+		n.stats.Messages++
+		n.deliver(t.msg.Dst, t.msg)
+		return
+	}
+	t.queued = n.eng.Now()
+	p := n.portAt(t)
+	p.queue = append(p.queue, t)
+	n.kick(p, -1)
+}

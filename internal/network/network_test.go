@@ -1,0 +1,367 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memsim/internal/sim"
+)
+
+type delivery struct {
+	dst int
+	msg Message
+	at  sim.Cycle
+}
+
+func collector(eng *sim.Engine) (*[]delivery, func(int, Message)) {
+	var got []delivery
+	return &got, func(dst int, m Message) {
+		got = append(got, delivery{dst, m, eng.Now()})
+	}
+}
+
+func TestStagesByPortCount(t *testing.T) {
+	cases := []struct{ ports, stages int }{
+		{2, 1}, {4, 1}, {5, 2}, {16, 2}, {17, 3}, {32, 3}, {64, 3}, {65, 4},
+	}
+	for _, c := range cases {
+		var eng sim.Engine
+		n := New(&eng, c.ports, 4, func(int, Message) {})
+		if n.Stages() != c.stages {
+			t.Errorf("ports %d: stages = %d, want %d", c.ports, n.Stages(), c.stages)
+		}
+	}
+}
+
+func TestUncontendedHeadLatency(t *testing.T) {
+	for _, ports := range []int{16, 32} {
+		var eng sim.Engine
+		got, deliver := collector(&eng)
+		n := New(&eng, ports, 4, deliver)
+		if !n.TrySend(Message{Src: 3, Dst: ports - 1, Flits: 1}) {
+			t.Fatal("TrySend rejected on empty network")
+		}
+		eng.Run(nil)
+		if len(*got) != 1 {
+			t.Fatalf("delivered %d messages, want 1", len(*got))
+		}
+		want := sim.Cycle(n.HeadLatency())
+		if (*got)[0].at != want {
+			t.Errorf("ports %d: head arrived at %d, want %d", ports, (*got)[0].at, want)
+		}
+	}
+}
+
+func TestAllPairsDelivered(t *testing.T) {
+	const ports = 16
+	var eng sim.Engine
+	got, deliver := collector(&eng)
+	n := New(&eng, ports, 4, deliver)
+	sent := 0
+	for s := 0; s < ports; s++ {
+		for d := 0; d < ports; d++ {
+			s, d := s, d
+			eng.At(sim.Cycle(s*50+d*2), func() {
+				if !n.TrySend(Message{Src: s, Dst: d, Flits: 1, Payload: [2]int{s, d}}) {
+					t.Errorf("send %d->%d rejected", s, d)
+				}
+			})
+			sent++
+		}
+	}
+	eng.Run(nil)
+	if len(*got) != sent {
+		t.Fatalf("delivered %d, want %d", len(*got), sent)
+	}
+	for _, d := range *got {
+		p := d.msg.Payload.([2]int)
+		if p[1] != d.dst {
+			t.Errorf("message %v delivered to %d", p, d.dst)
+		}
+	}
+}
+
+func TestFIFOPerPair(t *testing.T) {
+	// Messages between the same (src,dst) pair must arrive in order,
+	// regardless of size mix or contention.
+	const ports = 16
+	var eng sim.Engine
+	got, deliver := collector(&eng)
+	n := New(&eng, ports, 4, deliver)
+	rng := rand.New(rand.NewSource(1))
+	type key struct{ s, d int }
+	sentSeq := map[key][]int{}
+	seq := 0
+	// Staggered sends so the entrance buffer never rejects.
+	for burst := 0; burst < 30; burst++ {
+		at := sim.Cycle(burst * 40)
+		s := rng.Intn(ports)
+		d := rng.Intn(ports)
+		for i := 0; i < 3; i++ {
+			k := key{s, d}
+			id := seq
+			seq++
+			sentSeq[k] = append(sentSeq[k], id)
+			flits := 1 + rng.Intn(8)
+			eng.At(at, func() {
+				if !n.TrySend(Message{Src: s, Dst: d, Flits: flits, Payload: id}) {
+					t.Errorf("staggered send rejected")
+				}
+			})
+		}
+	}
+	eng.Run(nil)
+	gotSeq := map[key][]int{}
+	for _, d := range *got {
+		p := d.msg.Payload.(int)
+		gotSeq[key{d.msg.Src, d.dst}] = append(gotSeq[key{d.msg.Src, d.dst}], p)
+	}
+	for k, want := range sentSeq {
+		g := gotSeq[k]
+		if len(g) != len(want) {
+			t.Fatalf("pair %v: got %d messages, want %d", k, len(g), len(want))
+		}
+		for i := range want {
+			if g[i] != want[i] {
+				t.Errorf("pair %v: out of order: got %v want %v", k, g, want)
+				break
+			}
+		}
+	}
+}
+
+func TestEntranceBufferCapacity(t *testing.T) {
+	var eng sim.Engine
+	_, deliver := collector(&eng)
+	n := New(&eng, 16, 4, deliver)
+	// First message starts transmission immediately (doesn't occupy a
+	// buffer slot once in service); it is long so the rest queue up.
+	ok := n.TrySend(Message{Src: 0, Dst: 1, Flits: 100})
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if n.TrySend(Message{Src: 0, Dst: 1, Flits: 1}) {
+			accepted++
+		}
+	}
+	if !ok {
+		t.Fatal("first send rejected")
+	}
+	if accepted != 4 {
+		t.Errorf("accepted %d queued messages, want 4 (buffer capacity)", accepted)
+	}
+	if n.Stats().Retries != 6 {
+		t.Errorf("retries = %d, want 6", n.Stats().Retries)
+	}
+}
+
+func TestWhenSpaceFires(t *testing.T) {
+	var eng sim.Engine
+	_, deliver := collector(&eng)
+	n := New(&eng, 16, 2, deliver)
+	n.TrySend(Message{Src: 0, Dst: 1, Flits: 10})
+	n.TrySend(Message{Src: 0, Dst: 1, Flits: 1})
+	n.TrySend(Message{Src: 0, Dst: 1, Flits: 1})
+	if n.TrySend(Message{Src: 0, Dst: 1, Flits: 1}) {
+		t.Fatal("buffer should be full")
+	}
+	fired := false
+	n.WhenSpace(0, func() {
+		fired = true
+		if !n.TrySend(Message{Src: 0, Dst: 1, Flits: 1}) {
+			t.Error("retry after WhenSpace rejected")
+		}
+	})
+	eng.Run(nil)
+	if !fired {
+		t.Fatal("WhenSpace never fired")
+	}
+	if n.Stats().Messages != 4 {
+		t.Errorf("delivered %d, want 4", n.Stats().Messages)
+	}
+}
+
+func TestContentionSerializesSharedLink(t *testing.T) {
+	// Two sources sending to the same destination share the final
+	// link; their heads cannot arrive one cycle apart if messages are
+	// long.
+	var eng sim.Engine
+	got, deliver := collector(&eng)
+	n := New(&eng, 16, 4, deliver)
+	n.TrySend(Message{Src: 0, Dst: 5, Flits: 9, Payload: "a"})
+	n.TrySend(Message{Src: 1, Dst: 5, Flits: 9, Payload: "b"})
+	eng.Run(nil)
+	if len(*got) != 2 {
+		t.Fatalf("delivered %d, want 2", len(*got))
+	}
+	gap := (*got)[1].at - (*got)[0].at
+	if gap < 9 {
+		t.Errorf("heads arrived %d cycles apart, want >= flit count 9", gap)
+	}
+	if n.Stats().QueueDelay == 0 {
+		t.Error("expected nonzero queue delay under contention")
+	}
+}
+
+func TestBypassJumpsQueue(t *testing.T) {
+	var eng sim.Engine
+	got, deliver := collector(&eng)
+	n := New(&eng, 16, 4, deliver)
+	// A long message in service, two queued stores, then a bypassing load.
+	n.TrySend(Message{Src: 0, Dst: 1, Flits: 30, Payload: "tx"})
+	n.TrySend(Message{Src: 0, Dst: 2, Flits: 1, Payload: "st1"})
+	n.TrySend(Message{Src: 0, Dst: 3, Flits: 1, Payload: "st2"})
+	n.TrySend(Message{Src: 0, Dst: 4, Flits: 1, Bypass: true, Payload: "ld"})
+	eng.Run(nil)
+	if len(*got) != 4 {
+		t.Fatalf("delivered %d, want 4", len(*got))
+	}
+	order := []string{}
+	for _, d := range *got {
+		order = append(order, d.msg.Payload.(string))
+	}
+	want := []string{"tx", "ld", "st1", "st2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("delivery order %v, want %v", order, want)
+		}
+	}
+	st := n.Stats()
+	if st.Bypasses != 1 || st.BypassedOver != 2 {
+		t.Errorf("bypass stats = %+v, want 1 bypass over 2", st)
+	}
+}
+
+func TestBypassDoesNotCountWhenQueueEmpty(t *testing.T) {
+	var eng sim.Engine
+	_, deliver := collector(&eng)
+	n := New(&eng, 16, 4, deliver)
+	n.TrySend(Message{Src: 0, Dst: 1, Flits: 1, Bypass: true})
+	if n.Stats().Bypasses != 0 {
+		t.Errorf("bypass counted with empty queue")
+	}
+}
+
+func TestLinkAfterRoutesToDestination(t *testing.T) {
+	// The last-stage link index must equal the destination (padded),
+	// for every pair — that is what makes Omega routing deliver.
+	for _, ports := range []int{16, 32, 64} {
+		var eng sim.Engine
+		n := New(&eng, ports, 4, func(int, Message) {})
+		for s := 0; s < ports; s++ {
+			for d := 0; d < ports; d++ {
+				if got := n.linkAfter(s, d, n.stages-1); got != d {
+					t.Fatalf("ports %d: linkAfter(%d,%d,last) = %d, want %d", ports, s, d, got, d)
+				}
+			}
+		}
+	}
+}
+
+// Property: random traffic is always fully delivered, exactly once per
+// message, and per-pair FIFO holds.
+func TestQuickRandomTrafficDelivered(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var eng sim.Engine
+		got, deliver := collector(&eng)
+		n := New(&eng, 16, 4, deliver)
+		sent := 0
+		var trySend func(m Message)
+		pendingRetry := []Message{}
+		trySend = func(m Message) {
+			if n.TrySend(m) {
+				return
+			}
+			pendingRetry = append(pendingRetry, m)
+			if len(pendingRetry) == 1 {
+				n.WhenSpace(m.Src, func() {
+					q := pendingRetry
+					pendingRetry = nil
+					for _, m := range q {
+						trySend(m)
+					}
+				})
+			}
+		}
+		for i := 0; i < 100; i++ {
+			m := Message{
+				Src:     0, // single source so retry bookkeeping stays simple
+				Dst:     rng.Intn(16),
+				Flits:   1 + rng.Intn(8),
+				Payload: i,
+			}
+			at := sim.Cycle(rng.Intn(500))
+			eng.At(at, func() { trySend(m) })
+			sent++
+		}
+		if !eng.RunLimit(nil, 1_000_000) {
+			return false
+		}
+		if len(*got) != sent {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, d := range *got {
+			id := d.msg.Payload.(int)
+			if seen[id] {
+				return false
+			}
+			seen[id] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsFlitsAndMessages(t *testing.T) {
+	var eng sim.Engine
+	_, deliver := collector(&eng)
+	n := New(&eng, 16, 4, deliver)
+	n.TrySend(Message{Src: 0, Dst: 1, Flits: 3})
+	n.TrySend(Message{Src: 2, Dst: 3, Flits: 1})
+	eng.Run(nil)
+	st := n.Stats()
+	if st.Messages != 2 {
+		t.Errorf("Messages = %d, want 2", st.Messages)
+	}
+	if st.Flits != 4 {
+		t.Errorf("Flits = %d, want 4", st.Flits)
+	}
+}
+
+func TestHeadLatencyMatchesDelivery(t *testing.T) {
+	// HeadLatency is a contract other components calibrate against.
+	for _, ports := range []int{4, 16, 64} {
+		var eng sim.Engine
+		got, deliver := collector(&eng)
+		n := New(&eng, ports, 4, deliver)
+		n.TrySend(Message{Src: 0, Dst: ports - 1, Flits: 2})
+		eng.Run(nil)
+		if (*got)[0].at != sim.Cycle(n.HeadLatency()) {
+			t.Errorf("ports=%d: delivered at %d, HeadLatency says %d",
+				ports, (*got)[0].at, n.HeadLatency())
+		}
+	}
+}
+
+func TestPanicsOnBadEndpoints(t *testing.T) {
+	var eng sim.Engine
+	n := New(&eng, 4, 4, func(int, Message) {})
+	for _, m := range []Message{
+		{Src: -1, Dst: 0, Flits: 1},
+		{Src: 0, Dst: 4, Flits: 1},
+		{Src: 0, Dst: 0, Flits: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("message %+v accepted", m)
+				}
+			}()
+			n.TrySend(m)
+		}()
+	}
+}

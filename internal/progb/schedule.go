@@ -1,0 +1,108 @@
+package progb
+
+import "memsim/internal/isa"
+
+// HoistLoads mimics the Cerberus compiler optimization the paper
+// describes in §3.3/§4.1.3: within each basic block, plain loads are
+// scheduled as early as data dependences allow ("the optimizer in our
+// compiler does reorganize the code so that all the loads are at the
+// top of the loop"). It is deliberately not smart about which load
+// will miss — exactly the limitation §5.2's hand-scheduling
+// experiments (Figure 9) work around.
+//
+// The pass returns a new program; the input is not modified. Absolute
+// branch targets remain valid because instructions only move within
+// basic blocks, whose leaders are exactly the possible targets.
+func HoistLoads(prog []isa.Inst) []isa.Inst {
+	out := make([]isa.Inst, len(prog))
+	copy(out, prog)
+
+	for _, blk := range basicBlocks(out) {
+		hoistInBlock(out[blk.start:blk.end])
+	}
+	return out
+}
+
+type block struct{ start, end int }
+
+// basicBlocks computes [start,end) ranges: leaders are instruction 0,
+// every branch target, and every instruction following a branch.
+func basicBlocks(prog []isa.Inst) []block {
+	leader := make([]bool, len(prog)+1)
+	leader[0] = true
+	leader[len(prog)] = true
+	for pc, in := range prog {
+		if in.Op.IsBranch() {
+			if in.Op != isa.JR {
+				leader[in.Imm] = true
+			}
+			if pc+1 <= len(prog) {
+				leader[pc+1] = true
+			}
+		}
+	}
+	var blocks []block
+	start := 0
+	for pc := 1; pc <= len(prog); pc++ {
+		if leader[pc] {
+			blocks = append(blocks, block{start, pc})
+			start = pc
+		}
+	}
+	return blocks
+}
+
+// hoistInBlock bubbles plain loads upward past independent
+// instructions.
+func hoistInBlock(blk []isa.Inst) {
+	for i := 1; i < len(blk); i++ {
+		in := blk[i]
+		if !isHoistableLoad(in) {
+			continue
+		}
+		j := i
+		for j > 0 && canHoistOver(blk[j-1], in) {
+			blk[j] = blk[j-1]
+			j--
+		}
+		blk[j] = in
+	}
+}
+
+// isHoistableLoad reports whether in is an ordinary load the pass may
+// move.
+func isHoistableLoad(in isa.Inst) bool {
+	return in.Op == isa.LD && in.Class == isa.ClassPlain
+}
+
+// canHoistOver reports whether load may move above prev.
+func canHoistOver(prev, load isa.Inst) bool {
+	// Memory and control barriers.
+	if prev.Op.IsStore() || prev.Op == isa.FENCE || prev.Op.IsBranch() || prev.Op == isa.HALT {
+		return false
+	}
+	// Loads never pass other loads: they keep program order among
+	// themselves (which also makes the pass idempotent). Sync-classed
+	// loads are hard barriers anyway.
+	if prev.Op == isa.LD {
+		return false
+	}
+	if prev.Op.WritesRd() {
+		// prev defines the load's address base: true dependence.
+		if prev.Rd == load.Rs1 {
+			return false
+		}
+		// WAW on the load's destination.
+		if prev.Rd == load.Rd {
+			return false
+		}
+	}
+	// WAR: prev reads the register the load will overwrite.
+	if prev.Op.ReadsRs1() && prev.Rs1 == load.Rd {
+		return false
+	}
+	if prev.Op.ReadsRs2() && prev.Rs2 == load.Rd {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,130 @@
+// Package sim provides the discrete-event core that all timed components
+// of the simulator share: a monotonically advancing cycle counter and a
+// priority queue of callbacks scheduled at future cycles.
+//
+// The engine is deliberately minimal. Components schedule closures with
+// At/After; the machine drains the queue in (cycle, insertion-order)
+// order, which makes every simulation deterministic and therefore
+// reproducible in tests.
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time, measured in processor cycles from
+// the start of the run.
+type Cycle = uint64
+
+// event is one scheduled callback.
+type event struct {
+	at  Cycle
+	seq uint64 // tie-breaker: insertion order within a cycle
+	fn  func()
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event scheduler.
+// The zero value is ready to use.
+type Engine struct {
+	now   Cycle
+	seq   uint64
+	queue eventHeap
+	steps uint64
+}
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Steps returns the number of events executed so far (useful as a
+// progress/abort metric in tests).
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// At schedules fn to run at the given cycle. Scheduling in the past
+// (before Now) panics: it would silently reorder causality.
+func (e *Engine) At(at Cycle, fn func()) {
+	if at < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay Cycle, fn func()) {
+	e.At(e.now+delay, fn)
+}
+
+// Pending reports whether any events remain in the queue.
+func (e *Engine) Pending() bool { return len(e.queue) > 0 }
+
+// NextTime returns the cycle of the earliest pending event. It panics if
+// the queue is empty; check Pending first.
+func (e *Engine) NextTime() Cycle {
+	if len(e.queue) == 0 {
+		panic("sim: NextTime on empty queue")
+	}
+	return e.queue[0].at
+}
+
+// Step executes the single earliest pending event, advancing Now to its
+// cycle. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(event)
+	e.now = ev.at
+	e.steps++
+	ev.fn()
+	return true
+}
+
+// Run drains the queue until empty or until the predicate done returns
+// true (checked between events). A nil done runs to quiescence. Run
+// returns the cycle at which it stopped.
+func (e *Engine) Run(done func() bool) Cycle {
+	for {
+		if done != nil && done() {
+			return e.now
+		}
+		if !e.Step() {
+			return e.now
+		}
+	}
+}
+
+// RunLimit drains the queue like Run but aborts after maxSteps events,
+// returning false if the limit was hit (a watchdog for livelocked
+// configurations under test).
+func (e *Engine) RunLimit(done func() bool, maxSteps uint64) bool {
+	start := e.steps
+	for {
+		if done != nil && done() {
+			return true
+		}
+		if e.steps-start >= maxSteps {
+			return false
+		}
+		if !e.Step() {
+			return true
+		}
+	}
+}

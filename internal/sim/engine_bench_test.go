@@ -1,0 +1,39 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw scheduler throughput: one
+// event scheduling its successor, the simulator's inner-loop cost
+// floor.
+func BenchmarkEventThroughput(b *testing.B) {
+	var e Engine
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(1, tick)
+		}
+	}
+	e.At(0, tick)
+	b.ResetTimer()
+	e.Run(nil)
+	if n != b.N {
+		b.Fatalf("ran %d events, want %d", n, b.N)
+	}
+}
+
+// BenchmarkEventFanout measures a bursty schedule: many events at the
+// same cycle (the barrier-release pattern).
+func BenchmarkEventFanout(b *testing.B) {
+	var e Engine
+	n := 0
+	for i := 0; i < b.N; i++ {
+		e.At(uint64(i/64), func() { n++ })
+	}
+	b.ResetTimer()
+	e.Run(nil)
+	if n != b.N {
+		b.Fatalf("ran %d events, want %d", n, b.N)
+	}
+}

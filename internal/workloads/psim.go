@@ -1,0 +1,324 @@
+package workloads
+
+import (
+	"fmt"
+
+	"memsim/internal/isa"
+	"memsim/internal/progb"
+)
+
+// Psim builds the paper's Psim benchmark: a parallel, time-stepped
+// simulation of a multistage interconnection network — the simulator
+// simulating (a smaller copy of) itself (§3.3). simPorts simulated
+// ports (the paper used 64) feed a 3-stage network of 4x4 switches;
+// each port injects refsPerPort packets (the paper used 513) at one
+// per simulated cycle, and every switch forwards up to four packets
+// per cycle.
+//
+// The kernel reproduces the three properties the paper attributes to
+// Psim:
+//
+//   - high sharing: packets cross processor ownership at every stage,
+//     so queue state ping-pongs and most misses are invalidation
+//     misses;
+//   - the highest synchronization rate of the four benchmarks: a
+//     barrier per simulated cycle plus a spinlock around every queue
+//     operation and packet payload update;
+//   - skewed memory-module utilization: all queue locks live on lines
+//     that map to exactly two memory modules (stride 64*procs keeps
+//     the module fixed for every supported line size), giving the mild
+//     hot spots the paper reports.
+//
+// Validation checks packet conservation — injected packets equal
+// delivered packets plus packets still queued — and that injection
+// completed and the network delivered the bulk of the traffic.
+func Psim(procs, simPorts, refsPerPort int, seed int64) Workload {
+	if simPorts%4 != 0 || simPorts < 8 {
+		panic("workloads: Psim needs simPorts divisible by 4 and >= 8")
+	}
+	if refsPerPort < 1 {
+		panic("workloads: Psim needs refsPerPort >= 1")
+	}
+	switches := simPorts / 4 // per stage
+	const stages = 3
+	nq := stages * switches
+	simCycles := refsPerPort + 48
+	capWords := 16*refsPerPort + 64 // absolute-index ring bound per queue
+	capBytes := int64(capWords * 8)
+
+	a := NewAlloc()
+	injBase := a.Bytes(uint64(simPorts)*8, 64)
+	seedBase := a.Bytes(uint64(simPorts)*8, 64)
+	delBase := a.Bytes(uint64(simPorts)*8, 64)
+	hdrBase := a.Bytes(uint64(nq)*64, 64) // head (+0) and tail (+8) per queue
+	lockStride := uint64(64 * procs)
+	lockBase := a.Bytes(uint64(nq/2+1)*lockStride+64, 64)
+	entBase := a.Bytes(uint64(nq*capWords)*8, 64)
+	bar := AllocBarrier(a)
+
+	tmpBase := int64(isa.PrivBase) + 0x1000 // private pop buffer
+
+	b := progb.New()
+	sense := b.Alloc()
+	cyc := b.Alloc()
+	cycEnd := b.Alloc()
+	lconst := b.Alloc() // LCG multiplier
+	t := b.Alloc()      // scratch (clobbered everywhere)
+	u := b.Alloc()      // scratch
+
+	b.Li(sense, 0)
+	b.Li(cycEnd, int64(simCycles))
+	b.LiU(lconst, 6364136223846793005)
+
+	// lockOf emits: la = address of lock for queue index reg idx, then
+	// acquires it. Clobbers t, u.
+	lockOf := func(idx, la isa.Reg) {
+		b.Emit(isa.Inst{Op: isa.ANDI, Rd: la, Rs1: idx, Imm: 1})
+		b.Slli(la, la, 6)
+		b.Srli(t, idx, 1)
+		b.Li(u, int64(lockStride))
+		b.Mul(t, t, u)
+		b.Add(la, la, t)
+		b.Li(u, int64(lockBase))
+		b.Add(la, la, u)
+		EmitLock(b, la)
+	}
+	// hdrOf emits: h = header address for queue index reg idx.
+	hdrOf := func(idx, h isa.Reg) {
+		b.Slli(h, idx, 6)
+		b.Li(t, int64(hdrBase))
+		b.Add(h, h, t)
+	}
+	// entSlot emits: e = address of entry slot `slot` of queue idx.
+	// Clobbers t, u.
+	entSlot := func(idx, slot, e isa.Reg) {
+		b.Li(t, capBytes)
+		b.Mul(e, idx, t)
+		b.Li(t, int64(entBase))
+		b.Add(e, e, t)
+		b.Slli(t, slot, 3)
+		b.Add(e, e, t)
+	}
+	// popUpTo4 emits the locked pop of up to four packets from queue
+	// idx into the private buffer, leaving the count in k.
+	popUpTo4 := func(idx, la, k isa.Reg) {
+		lockOf(idx, la)
+		h := b.Alloc()
+		head := b.Alloc()
+		tail := b.Alloc()
+		i := b.Alloc()
+		e := b.Alloc()
+		d := b.Alloc()
+		hdrOf(idx, h)
+		b.Ld(head, h, 0)
+		b.Ld(tail, h, 8)
+		b.Sub(k, tail, head)
+		four := b.NewLabel()
+		b.Slti(t, k, 5)
+		b.Bne(t, isa.R0, four)
+		b.Li(k, 4)
+		b.Bind(four)
+		// for i in 0..k-1: priv[tmp+i*8] = ent[head+i]
+		b.ForRange(i, 0, k, 1, func() {
+			b.Add(u, head, i)
+			b.Mov(d, u) // keep slot in d; entSlot clobbers u
+			entSlot(idx, d, e)
+			b.Ld(d, e, 0)
+			b.Slli(t, i, 3)
+			b.Li(u, tmpBase)
+			b.Add(t, t, u)
+			b.St(t, 0, d)
+		})
+		b.Add(head, head, k)
+		b.St(h, 0, head)
+		EmitUnlock(b, la)
+		b.Free(h, head, tail, i, e, d)
+	}
+	// pushOne emits the locked push of packet reg d onto queue idx.
+	pushOne := func(idx, la, d isa.Reg) {
+		lockOf(idx, la)
+		h := b.Alloc()
+		tail := b.Alloc()
+		e := b.Alloc()
+		hdrOf(idx, h)
+		b.Ld(tail, h, 8)
+		entSlot(idx, tail, e)
+		b.St(e, 0, d)
+		b.Addi(tail, tail, 1)
+		b.St(h, 8, tail)
+		// Per-packet payload work: accumulate the destination into the
+		// queue's payload word (offset 16 of the header line). This is
+		// the plain shared traffic that ping-pongs between processors.
+		b.Ld(tail, h, 16)
+		b.Add(tail, tail, d)
+		b.St(h, 16, tail)
+		EmitUnlock(b, la)
+		b.Free(h, tail, e)
+	}
+
+	b.ForRange(cyc, 0, cycEnd, 1, func() {
+		// ---- phase 1: inject (ports id, id+P, ...) ----
+		{
+			p := b.Alloc()
+			limit := b.Alloc()
+			b.Li(limit, int64(simPorts))
+			b.ForRangeReg(p, isa.RID, limit, int64(procs), func() {
+				aInj := b.Alloc()
+				inj := b.Alloc()
+				skip := b.NewLabel()
+				b.Slli(aInj, p, 3)
+				b.Li(t, int64(injBase))
+				b.Add(aInj, aInj, t)
+				b.Ld(inj, aInj, 0)
+				b.Slti(t, inj, int64(refsPerPort))
+				b.Beq(t, isa.R0, skip)
+				{
+					s := b.Alloc()
+					d := b.Alloc()
+					aSeed := b.Alloc()
+					la := b.Alloc()
+					idx := b.Alloc()
+					b.Slli(aSeed, p, 3)
+					b.Li(t, int64(seedBase))
+					b.Add(aSeed, aSeed, t)
+					b.Ld(s, aSeed, 0)
+					b.Mul(s, s, lconst)
+					b.Li(t, 1442695040888963407)
+					b.Add(s, s, t)
+					b.St(aSeed, 0, s)
+					b.Srli(d, s, 33)
+					b.Emit(isa.Inst{Op: isa.ANDI, Rd: d, Rs1: d, Imm: int64(simPorts - 1)})
+					b.Srli(idx, p, 2) // stage-0 switch
+					pushOne(idx, la, d)
+					b.Addi(inj, inj, 1)
+					b.St(aInj, 0, inj)
+					b.Free(s, d, aSeed, la, idx)
+				}
+				b.Bind(skip)
+				b.Free(aInj, inj)
+			})
+			b.Free(p, limit)
+		}
+
+		// ---- phases 2 and 3: move stages 0 and 1 ----
+		for s := 0; s < 2; s++ {
+			w := b.Alloc()
+			limit := b.Alloc()
+			b.Li(limit, int64(switches))
+			b.ForRangeReg(w, isa.RID, limit, int64(procs), func() {
+				idx := b.Alloc()
+				la := b.Alloc()
+				k := b.Alloc()
+				b.Addi(idx, w, int64(s*switches))
+				popUpTo4(idx, la, k)
+				i := b.Alloc()
+				d := b.Alloc()
+				nw := b.Alloc()
+				b.ForRange(i, 0, k, 1, func() {
+					b.Slli(t, i, 3)
+					b.Li(u, tmpBase)
+					b.Add(t, t, u)
+					b.Ld(d, t, 0)
+					// next switch = (w*4 + ((d >> 2(s+1)) & 3)) mod switches
+					b.Srli(nw, d, int64(2*(s+1)))
+					b.Emit(isa.Inst{Op: isa.ANDI, Rd: nw, Rs1: nw, Imm: 3})
+					b.Slli(t, w, 2)
+					b.Add(nw, nw, t)
+					b.Emit(isa.Inst{Op: isa.ANDI, Rd: nw, Rs1: nw, Imm: int64(switches - 1)})
+					b.Addi(nw, nw, int64((s+1)*switches))
+					pushOne(nw, la, d)
+				})
+				b.Free(idx, la, k, i, d, nw)
+			})
+			b.Free(w, limit)
+		}
+
+		// ---- phase 4: deliver from stage 2 ----
+		{
+			w := b.Alloc()
+			limit := b.Alloc()
+			b.Li(limit, int64(switches))
+			b.ForRangeReg(w, isa.RID, limit, int64(procs), func() {
+				idx := b.Alloc()
+				la := b.Alloc()
+				k := b.Alloc()
+				b.Addi(idx, w, int64(2*switches))
+				popUpTo4(idx, la, k)
+				i := b.Alloc()
+				d := b.Alloc()
+				b.ForRange(i, 0, k, 1, func() {
+					b.Slli(t, i, 3)
+					b.Li(u, tmpBase)
+					b.Add(t, t, u)
+					b.Ld(d, t, 0)
+					// port = w*4 + (d & 3); delivered[port]++
+					b.Emit(isa.Inst{Op: isa.ANDI, Rd: d, Rs1: d, Imm: 3})
+					b.Slli(t, w, 2)
+					b.Add(d, d, t)
+					b.Slli(d, d, 3)
+					b.Li(t, int64(delBase))
+					b.Add(d, d, t)
+					b.Ld(u, d, 0)
+					b.Addi(u, u, 1)
+					b.St(d, 0, u)
+				})
+				b.Free(idx, la, k, i, d)
+			})
+			b.Free(w, limit)
+		}
+
+		// One barrier closes the simulated cycle. Within a cycle every
+		// shared queue operation is lock-protected, so the inject,
+		// move and deliver phases may overlap safely.
+		EmitBarrier(b, bar, sense)
+	})
+	b.Halt()
+
+	prog := b.MustBuild()
+
+	setup := func(mem []uint64) {
+		rng := newLCG(seed)
+		for p := 0; p < simPorts; p++ {
+			mem[seedBase/8+uint64(p)] = rng.next()
+		}
+	}
+	validate := func(mem []uint64) error {
+		var injected, delivered, queued uint64
+		for p := 0; p < simPorts; p++ {
+			injected += mem[injBase/8+uint64(p)]
+			delivered += mem[delBase/8+uint64(p)]
+		}
+		for q := 0; q < nq; q++ {
+			head := mem[hdrBase/8+uint64(q*8)]
+			tail := mem[hdrBase/8+uint64(q*8)+1]
+			if tail < head {
+				return fmt.Errorf("psim: queue %d tail %d < head %d", q, tail, head)
+			}
+			if tail > uint64(capWords) {
+				return fmt.Errorf("psim: queue %d overflowed its entries (%d > %d)", q, tail, capWords)
+			}
+			queued += tail - head
+		}
+		want := uint64(simPorts * refsPerPort)
+		if injected != want {
+			return fmt.Errorf("psim: injected %d, want %d", injected, want)
+		}
+		if delivered+queued != injected {
+			return fmt.Errorf("psim: conservation violated: delivered %d + queued %d != injected %d",
+				delivered, queued, injected)
+		}
+		if delivered < injected/2 {
+			return fmt.Errorf("psim: only %d of %d packets delivered", delivered, injected)
+		}
+		return nil
+	}
+
+	return Workload{
+		Name:        "Psim",
+		Procs:       procs,
+		Programs:    sameProgram(procs, prog),
+		SharedWords: a.WordsUsed(),
+		Setup:       setup,
+		Validate:    validate,
+	}
+}

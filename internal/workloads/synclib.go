@@ -1,0 +1,113 @@
+package workloads
+
+import (
+	"memsim/internal/isa"
+	"memsim/internal/progb"
+)
+
+// The synchronization library. All primitives are emitted inline (the
+// paper's PCP lock and barrier routines were likewise tiny) and use
+// the abstract access classes: acquire on lock-acquiring operations,
+// release on lock/flag releases. Package consistency maps these to
+// what each model's hardware sees (WO treats both as plain sync
+// points; SC hardware ignores them — test-and-set stays atomic).
+
+// Barrier is the shared-memory layout of one sense-reversing barrier.
+// Each word lives on its own cache line to avoid false sharing.
+type Barrier struct {
+	Lock  uint64 // spinlock protecting Count
+	Count uint64 // arrivals this episode
+	Flag  uint64 // current global sense
+}
+
+// AllocBarrier reserves a barrier's three one-line words.
+func AllocBarrier(a *Alloc) Barrier {
+	return Barrier{Lock: a.Line(), Count: a.Line(), Flag: a.Line()}
+}
+
+// EmitLock emits a test-and-test-and-set acquire of the lock whose
+// byte address is in lockAddr:
+//
+//	try:  tas  t, 0(lockAddr) !acquire
+//	      beq  t, r0, acquired
+//	      <id-staggered backoff>
+//	spin: ld   t, 0(lockAddr) !acquire
+//	      bne  t, r0, spin
+//	      j    try
+//
+// The uncontended path is a single test-and-set. After a failed
+// attempt the processor backs off for a few cycles staggered by its
+// id before spinning locally on the (cached) lock word; without the
+// stagger the machine's deterministic timing lets the thundering herd
+// of ownership transfers after each release starve the lock holder's
+// own accesses.
+func EmitLock(b *progb.Builder, lockAddr isa.Reg) {
+	t := b.Alloc()
+	defer b.Free(t)
+	try := b.Here()
+	acquired := b.NewLabel()
+	b.Tas(t, lockAddr, 0, isa.ClassAcquire)
+	b.Beq(t, isa.R0, acquired)
+	// Backoff: 4 + 2*id empty iterations.
+	b.Slli(t, isa.RID, 1)
+	b.Addi(t, t, 4)
+	back := b.Here()
+	b.Addi(t, t, -1)
+	b.Bne(t, isa.R0, back)
+	spin := b.Here()
+	b.LdC(t, lockAddr, 0, isa.ClassAcquire)
+	b.Bne(t, isa.R0, spin)
+	b.Jmp(try)
+	b.Bind(acquired)
+}
+
+// EmitUnlock emits the release store clearing the lock.
+func EmitUnlock(b *progb.Builder, lockAddr isa.Reg) {
+	b.StC(lockAddr, 0, isa.R0, isa.ClassRelease)
+}
+
+// EmitBarrier emits a sense-reversing barrier crossing. senseReg holds
+// the processor's local sense (initialize to 0 before the first
+// crossing; the emitted code flips it each time). Scratch registers
+// are taken from and returned to the builder's pool.
+func EmitBarrier(b *progb.Builder, bar Barrier, senseReg isa.Reg) {
+	lock := b.Alloc()
+	cnt := b.Alloc()
+	one := b.Alloc()
+	defer b.Free(lock, cnt, one)
+
+	// sense = 1 - sense
+	b.Li(one, 1)
+	b.Sub(senseReg, one, senseReg)
+
+	b.LiU(lock, bar.Lock)
+	EmitLock(b, lock)
+
+	cntAddr := b.Alloc()
+	flagAddr := b.Alloc()
+	b.LiU(cntAddr, bar.Count)
+	b.LiU(flagAddr, bar.Flag)
+	b.Ld(cnt, cntAddr, 0)
+	b.Addi(cnt, cnt, 1)
+	b.St(cntAddr, 0, cnt)
+
+	last := b.NewLabel()
+	wait := b.NewLabel()
+	done := b.NewLabel()
+	b.Beq(cnt, isa.RNP, last)
+
+	// Not last: release the lock and spin on the flag.
+	EmitUnlock(b, lock)
+	b.Bind(wait)
+	b.LdC(cnt, flagAddr, 0, isa.ClassAcquire)
+	b.Bne(cnt, senseReg, wait)
+	b.Jmp(done)
+
+	// Last arrival: reset the count, release the lock, flip the flag.
+	b.Bind(last)
+	b.St(cntAddr, 0, isa.R0)
+	EmitUnlock(b, lock)
+	b.StC(flagAddr, 0, senseReg, isa.ClassRelease)
+	b.Bind(done)
+	b.Free(cntAddr, flagAddr)
+}

@@ -1,0 +1,182 @@
+package workloads
+
+import (
+	"testing"
+
+	"memsim/internal/isa"
+	"memsim/internal/machine"
+	"memsim/internal/progb"
+)
+
+func TestAllocAlignment(t *testing.T) {
+	a := NewAlloc()
+	w := a.Words(3)
+	if w%8 != 0 {
+		t.Errorf("Words not 8-aligned: %#x", w)
+	}
+	l := a.Line()
+	if l%64 != 0 {
+		t.Errorf("Line not 64-aligned: %#x", l)
+	}
+	l2 := a.Line()
+	if l2-l < 64 {
+		t.Errorf("lines overlap: %#x %#x", l, l2)
+	}
+	b := a.Bytes(10, 16)
+	if b%16 != 0 {
+		t.Errorf("Bytes not aligned: %#x", b)
+	}
+	if a.WordsUsed()*8 < int(b)+10 {
+		t.Errorf("WordsUsed too small: %d", a.WordsUsed())
+	}
+}
+
+func TestAllocRejectsBadAlignment(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two alignment accepted")
+		}
+	}()
+	NewAlloc().Bytes(8, 3)
+}
+
+func TestBarrierAllocSeparateLines(t *testing.T) {
+	a := NewAlloc()
+	bar := AllocBarrier(a)
+	for _, pair := range [][2]uint64{{bar.Lock, bar.Count}, {bar.Count, bar.Flag}, {bar.Lock, bar.Flag}} {
+		if pair[0]/64 == pair[1]/64 {
+			t.Errorf("barrier words share a line: %#x %#x", pair[0], pair[1])
+		}
+	}
+}
+
+// barrierProgram makes every CPU cross the barrier `rounds` times,
+// writing a per-round stamp only after the crossing; if the barrier
+// leaked anyone early, stamps would interleave incorrectly.
+func barrierProgram(t *testing.T, bar Barrier, rounds int, stampBase uint64, procs int) []isa.Inst {
+	t.Helper()
+	b := progb.New()
+	sense := b.Alloc()
+	r := b.Alloc()
+	rEnd := b.Alloc()
+	addr := b.Alloc()
+	v := b.Alloc()
+	b.Li(sense, 0)
+	b.Li(rEnd, int64(rounds))
+	b.ForRange(r, 0, rEnd, 1, func() {
+		// stamp[id] = round+1 before the barrier...
+		b.Slli(addr, isa.RID, 3)
+		b.LiU(v, stampBase)
+		b.Add(addr, addr, v)
+		b.Addi(v, r, 1)
+		b.St(addr, 0, v)
+		EmitBarrier(b, bar, sense)
+		// ...then verify every other CPU's stamp is >= round+1 by
+		// summing them: sum >= procs*(round+1) iff nobody is behind.
+		sum := b.Alloc()
+		i := b.Alloc()
+		iEnd := b.Alloc()
+		b.Li(sum, 0)
+		b.Li(iEnd, int64(procs))
+		b.ForRange(i, 0, iEnd, 1, func() {
+			b.Slli(addr, i, 3)
+			b.LiU(v, stampBase)
+			b.Add(addr, addr, v)
+			b.Ld(v, addr, 0)
+			b.Add(sum, sum, v)
+		})
+		// if sum < procs*(round+1): write a poison flag.
+		need := b.Alloc()
+		b.Addi(need, r, 1)
+		b.LiU(v, uint64(procs))
+		b.Mul(need, need, v)
+		ok := b.NewLabel()
+		b.Bge(sum, need, ok)
+		b.LiU(addr, stampBase+uint64(procs)*8) // poison word
+		b.Li(v, 1)
+		b.St(addr, 0, v)
+		b.Bind(ok)
+		b.Free(sum, i, iEnd, need)
+		// A second barrier keeps rounds separated.
+		EmitBarrier(b, bar, sense)
+	})
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestBarrierSynchronizesAllModels(t *testing.T) {
+	const procs = 8
+	const rounds = 4
+	for _, model := range testModels {
+		a := NewAlloc()
+		bar := AllocBarrier(a)
+		stampBase := a.Bytes(uint64(procs+1)*8, 64)
+		prog := barrierProgram(t, bar, rounds, stampBase, procs)
+		cfg := machine.Config{
+			Procs: procs, Model: model, CacheSize: 1 << 10, LineSize: 16,
+			SharedWords: a.WordsUsed(),
+		}
+		progs := make([][]isa.Inst, procs)
+		progs[0] = prog
+		m, err := machine.New(cfg, progs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(100_000_000); err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if m.Shared()[(stampBase+uint64(procs)*8)/8] != 0 {
+			t.Errorf("%v: barrier leaked a processor through early", model)
+		}
+		for i := 0; i < procs; i++ {
+			if got := m.Shared()[stampBase/8+uint64(i)]; got != rounds {
+				t.Errorf("%v: cpu %d finished %d rounds, want %d", model, i, got, rounds)
+			}
+		}
+	}
+}
+
+func TestLockMutualExclusionStress(t *testing.T) {
+	// Many CPUs increment an unpadded counter many times; any mutual
+	// exclusion failure loses increments.
+	const procs, iters = 8, 25
+	a := NewAlloc()
+	lock := a.Line()
+	counter := a.Line()
+	b := progb.New()
+	lr := b.Alloc()
+	cr := b.Alloc()
+	i := b.Alloc()
+	iEnd := b.Alloc()
+	v := b.Alloc()
+	b.LiU(lr, lock)
+	b.LiU(cr, counter)
+	b.Li(iEnd, iters)
+	b.ForRange(i, 0, iEnd, 1, func() {
+		EmitLock(b, lr)
+		b.Ld(v, cr, 0)
+		b.Addi(v, v, 1)
+		b.St(cr, 0, v)
+		EmitUnlock(b, lr)
+	})
+	b.Halt()
+	prog := b.MustBuild()
+	for _, model := range testModels {
+		cfg := machine.Config{
+			Procs: procs, Model: model, CacheSize: 512, LineSize: 64,
+			SharedWords: a.WordsUsed(),
+		}
+		progs := make([][]isa.Inst, procs)
+		progs[0] = prog
+		m, err := machine.New(cfg, progs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(200_000_000); err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if got := m.Shared()[counter/8]; got != procs*iters {
+			t.Errorf("%v: counter = %d, want %d", model, got, procs*iters)
+		}
+	}
+}

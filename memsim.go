@@ -1,0 +1,104 @@
+package memsim
+
+import (
+	"memsim/internal/consistency"
+	"memsim/internal/machine"
+	"memsim/internal/workloads"
+)
+
+// Model selects a memory consistency model implementation.
+type Model = consistency.Model
+
+// The predefined system types (the paper's Table 1 plus the §5.1
+// blocking-load variants).
+const (
+	SC1  = consistency.SC1
+	SC2  = consistency.SC2
+	WO1  = consistency.WO1
+	WO2  = consistency.WO2
+	RC   = consistency.RC
+	BSC1 = consistency.BSC1
+	BWO1 = consistency.BWO1
+)
+
+// Models lists every predefined model.
+var Models = consistency.Models
+
+// ParseModel converts a name like "SC1" or "bwo1" to a Model.
+func ParseModel(s string) (Model, error) { return consistency.ParseModel(s) }
+
+// Config describes the simulated machine. Zero fields take the paper's
+// defaults (2-way caches, 5 MSHRs, 4-entry network buffers, 4-cycle
+// load/branch delay).
+type Config = machine.Config
+
+// Result carries the measurements of one run; see the methods on
+// machine.Result for aggregates (HitRate, GainOver, ...).
+type Result = machine.Result
+
+// Workload is a runnable benchmark: per-processor programs plus setup
+// and validation of the shared-memory image.
+type Workload = workloads.Workload
+
+// RelaxSchedule selects the Relax inner-loop load ordering.
+type RelaxSchedule = workloads.RelaxSchedule
+
+// Relax schedules (paper §5.2, Figure 9).
+const (
+	RelaxDefault   = workloads.RelaxDefault
+	RelaxMissFirst = workloads.RelaxMissFirst
+	RelaxMissLast  = workloads.RelaxMissLast
+)
+
+// GaussWorkload builds the Gauss benchmark: n x n gaussian
+// elimination, rows distributed cyclically, one barrier per pivot.
+func GaussWorkload(procs, n int, seed int64) Workload {
+	return workloads.Gauss(procs, n, seed)
+}
+
+// QsortWorkload builds the Qsort benchmark: a parallel quicksort of n
+// integers scheduled dynamically through a shared work stack.
+func QsortWorkload(procs, n int, seed int64) Workload {
+	return workloads.Qsort(procs, n, seed)
+}
+
+// RelaxWorkload builds the Relax benchmark: iters sweeps of a
+// nine-point stencil over an (n+2)x(n+2) grid with a copy-back phase.
+func RelaxWorkload(procs, n, iters int, sched RelaxSchedule, seed int64) Workload {
+	return workloads.Relax(procs, n, iters, sched, seed)
+}
+
+// PsimWorkload builds the Psim benchmark: a time-stepped simulation of
+// a simPorts-port multistage network, refsPerPort packets per port.
+func PsimWorkload(procs, simPorts, refsPerPort int, seed int64) Workload {
+	return workloads.Psim(procs, simPorts, refsPerPort, seed)
+}
+
+// Run executes a workload on a machine built from cfg and returns the
+// measurements. cfg.Procs must match the workload's processor count
+// (0 adopts it); cfg.SharedWords is sized automatically when zero.
+func Run(cfg Config, w Workload) (Result, error) {
+	if cfg.Procs == 0 {
+		cfg.Procs = w.Procs
+	}
+	if cfg.SharedWords == 0 {
+		cfg.SharedWords = w.SharedWords
+	}
+	m, err := machine.New(cfg, w.Programs)
+	if err != nil {
+		return Result{}, err
+	}
+	if w.Setup != nil {
+		w.Setup(m.Shared())
+	}
+	res, err := m.Run(0)
+	if err != nil {
+		return Result{}, err
+	}
+	if w.Validate != nil {
+		if err := w.Validate(m.Shared()); err != nil {
+			return Result{}, err
+		}
+	}
+	return res, nil
+}
