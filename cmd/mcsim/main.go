@@ -6,15 +6,26 @@
 //	mcsim -bench gauss -model WO1 -procs 16 -cache 16384 -line 16
 //	mcsim -bench relax -sched miss-first -model SC1
 //	mcsim -bench qsort -n 20000 -model RC -v
+//
+// Robustness and debugging:
+//
+//	mcsim -bench gauss -stall-cycles 200000 -check-every 5000 -diag
+//	mcsim -bench qsort -fault-prob 0.05 -fault-delay 12 -fault-seed 7
+//
+// On any failure mcsim exits non-zero with the structured error text;
+// -diag additionally prints the machine's diagnostic dump (processor,
+// MSHR, network and directory state at the failure cycle).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"memsim"
 	"memsim/internal/machine"
+	"memsim/internal/robust"
 	"memsim/internal/trace"
 )
 
@@ -32,6 +43,13 @@ func main() {
 		seed  = flag.Int64("seed", 1992, "workload seed")
 		vflag = flag.Bool("v", false, "print per-processor detail")
 		trc   = flag.Int("trace", 0, "dump the last N coherence-protocol events")
+
+		diag       = flag.Bool("diag", false, "print a full diagnostic dump if the run fails")
+		stall      = flag.Int("stall-cycles", 0, "fail if no instruction retires for N cycles (0: off)")
+		checkEvery = flag.Int("check-every", 0, "run the coherence invariant checker every N cycles (0: off)")
+		faultProb  = flag.Float64("fault-prob", 0, "network fault injection: per-hop delay probability (0: off)")
+		faultDelay = flag.Int("fault-delay", 8, "network fault injection: max extra cycles per delayed hop")
+		faultSeed  = flag.Int64("fault-seed", 1, "network fault injection seed")
 	)
 	flag.Parse()
 
@@ -44,18 +62,32 @@ func main() {
 		fatal(err)
 	}
 	cfg := memsim.Config{
-		Procs:     *procs,
-		Model:     m,
-		CacheSize: *cache,
-		LineSize:  *line,
-		LoadDelay: *delay,
+		Procs:       *procs,
+		Model:       m,
+		CacheSize:   *cache,
+		LineSize:    *line,
+		LoadDelay:   *delay,
+		StallCycles: *stall,
+		CheckEvery:  *checkEvery,
+	}
+	if *faultProb > 0 {
+		cfg.Faults = robust.Faults{Seed: *faultSeed, DelayProb: *faultProb, MaxExtraDelay: *faultDelay}
 	}
 	var rec *trace.Recorder
 	if *trc > 0 {
 		rec = trace.New(*trc)
+	} else if *diag {
+		// A small ring so failure dumps can show the trailing protocol
+		// events even when -trace was not requested.
+		rec = trace.New(64)
+		rec.EnableOnly(trace.ReqSend, trace.ReqRecv, trace.RespSend, trace.RespRecv)
 	}
 	res, err := run(cfg, w, rec)
 	if err != nil {
+		var se *robust.SimError
+		if *diag && errors.As(err, &se) && se.Dump != "" {
+			fmt.Fprint(os.Stderr, se.Dump)
+		}
 		fatal(err)
 	}
 
@@ -72,8 +104,12 @@ func main() {
 	fmt.Printf("  request net: %d msgs, %d bypasses; response net: %d msgs\n",
 		res.ReqNet.Messages, res.ReqNet.Bypasses, res.RespNet.Messages)
 
-	if rec != nil {
+	if *trc > 0 {
 		fmt.Printf("\nlast %d of %d protocol events:\n%s", len(rec.Events()), rec.Total(), rec.Dump())
+	}
+	if rq, rs := res.ReqNet, res.RespNet; rq.FaultDelays+rs.FaultDelays > 0 {
+		fmt.Printf("  fault injection: %d delayed hops, %d extra cycles\n",
+			rq.FaultDelays+rs.FaultDelays, rq.FaultCycles+rs.FaultCycles)
 	}
 
 	if *vflag {

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"memsim/internal/experiments"
+	"memsim/internal/robust"
 )
 
 func main() {
@@ -30,7 +32,9 @@ func main() {
 		outF   = flag.String("out", "", "also write the report to this file")
 		mdF    = flag.String("md", "", "write the full EXPERIMENTS.md-style report to this file")
 		quiet  = flag.Bool("q", false, "suppress per-run progress")
+		diagF  = flag.Bool("diag", false, "print the diagnostic dump if a run fails")
 	)
+	diag = diagF
 	flag.Parse()
 
 	var params experiments.Params
@@ -147,7 +151,17 @@ func stringify(s fmt.Stringer, err error) (string, error) {
 	return s.String(), nil
 }
 
+// diag mirrors the -diag flag for fatal (set before any run starts).
+var diag *bool
+
+// fatal prints the structured error text — and, under -diag, the
+// machine diagnostic dump a SimError carries — then exits non-zero.
+// Simulator failures never surface as stack traces.
 func fatal(err error) {
+	var se *robust.SimError
+	if diag != nil && *diag && errors.As(err, &se) && se.Dump != "" {
+		fmt.Fprint(os.Stderr, se.Dump)
+	}
 	fmt.Fprintln(os.Stderr, "sweep:", err)
 	os.Exit(1)
 }

@@ -36,6 +36,7 @@ import (
 	"fmt"
 
 	"memsim/internal/memory"
+	"memsim/internal/robust"
 	"memsim/internal/sim"
 )
 
@@ -207,6 +208,12 @@ func New(eng *sim.Engine, id int, cfg Config, send func(msg memory.Msg, bypass b
 
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
+
+// fail raises a structured protocol error for this cache; it unwinds
+// to Machine.Run rather than returning.
+func (c *Cache) fail(op string, line uint64, format string, args ...interface{}) {
+	robust.Raisef("cache", c.id, c.eng.Now(), op, line, format, args...)
+}
 
 // OnRetireAny registers the processor's retirement listener (at most
 // one).
@@ -417,7 +424,7 @@ func (c *Cache) Receive(msg memory.Msg) {
 	case memory.RecallInv:
 		if ln := c.lookup(msg.Line); ln != nil {
 			if ln.state != Exclusive {
-				panic("cache: recall of non-exclusive line")
+				c.fail(msg.Kind.String(), msg.Line, "recall of a line held %s, not exclusively", ln.state)
 			}
 			ln.state = Invalid
 			c.invalidated[msg.Line] = true
@@ -429,7 +436,7 @@ func (c *Cache) Receive(msg memory.Msg) {
 	case memory.RecallShare:
 		if ln := c.lookup(msg.Line); ln != nil {
 			if ln.state != Exclusive {
-				panic("cache: recall of non-exclusive line")
+				c.fail(msg.Kind.String(), msg.Line, "recall of a line held %s, not exclusively", ln.state)
 			}
 			ln.state = Shared
 			ln.dirty = false
@@ -438,7 +445,7 @@ func (c *Cache) Receive(msg memory.Msg) {
 			c.enqueue(memory.Msg{Kind: memory.InvAck, Line: msg.Line}, false)
 		}
 	default:
-		panic(fmt.Sprintf("cache: received %s", msg.Kind))
+		c.fail(msg.Kind.String(), msg.Line, "cache received request-class message")
 	}
 }
 
@@ -447,11 +454,11 @@ func (c *Cache) Receive(msg memory.Msg) {
 func (c *Cache) receiveData(msg memory.Msg) {
 	m := c.pendingMSHR(msg.Line)
 	if m == nil {
-		panic(fmt.Sprintf("cache %d: data for line %#x without MSHR", c.id, msg.Line))
+		c.fail(msg.Kind.String(), msg.Line, "data arrived with no MSHR allocated")
 	}
 	excl := msg.Kind == memory.DataExclusive
 	if m.excl && !excl {
-		panic("cache: ownership request granted shared")
+		c.fail(msg.Kind.String(), msg.Line, "ownership request granted shared")
 	}
 	bind := m.onBind
 	if bind != nil && (!m.excl || m.early) {

@@ -24,6 +24,7 @@ import (
 	"memsim/internal/cache"
 	"memsim/internal/consistency"
 	"memsim/internal/isa"
+	"memsim/internal/robust"
 	"memsim/internal/sim"
 )
 
@@ -68,6 +69,30 @@ const (
 	parkRelease
 	parkHalt
 )
+
+func (p parkReason) String() string {
+	switch p {
+	case parkNone:
+		return "running"
+	case parkRegs:
+		return "regs"
+	case parkOutstanding:
+		return "outstanding"
+	case parkConflict:
+		return "conflict"
+	case parkDrain:
+		return "drain"
+	case parkSync:
+		return "sync"
+	case parkBlocking:
+		return "blocking"
+	case parkRelease:
+		return "release"
+	case parkHalt:
+		return "halt-drain"
+	}
+	return fmt.Sprintf("park(%d)", uint8(p))
+}
 
 // completion tracks an issued operation the processor must wait on.
 type completion struct{ done bool }
@@ -189,6 +214,25 @@ func (c *CPU) Halted() bool { return c.halted }
 // PC returns the current program counter (diagnostics).
 func (c *CPU) PC() int { return c.pc }
 
+// OutstandingRefs returns the number of demand misses in flight
+// (diagnostics; excludes prefetches).
+func (c *CPU) OutstandingRefs() int { return c.outstanding }
+
+// ParkedReason describes what the processor is waiting on, or
+// "running" when it is not parked (diagnostics).
+func (c *CPU) ParkedReason() string {
+	if c.halted {
+		return "halted"
+	}
+	if !c.parked {
+		if c.awaiting != nil && !c.awaiting.done {
+			return "awaiting"
+		}
+		return "running"
+	}
+	return c.parkWhy.String()
+}
+
 // Start schedules the first execution event at cycle 0.
 func (c *CPU) Start() { c.schedule(c.eng.Now()) }
 
@@ -305,7 +349,8 @@ func (c *CPU) run() {
 	t := c.eng.Now()
 	for steps := 0; ; steps++ {
 		if steps > maxBatch {
-			panic(fmt.Sprintf("cpu %d: runaway local loop at pc %d", c.id, c.pc))
+			robust.Raise(&robust.SimError{Kind: robust.Program, Component: "cpu", Unit: c.id,
+				Cycle: c.eng.Now(), Detail: fmt.Sprintf("runaway local loop at pc %d", c.pc)})
 		}
 		// An issued operation we must complete before advancing.
 		if c.awaiting != nil {
@@ -322,7 +367,8 @@ func (c *CPU) run() {
 			}
 		}
 		if c.pc < 0 || c.pc >= len(c.prog) {
-			panic(fmt.Sprintf("cpu %d: pc %d out of program", c.id, c.pc))
+			robust.Raise(&robust.SimError{Kind: robust.Program, Component: "cpu", Unit: c.id,
+				Cycle: c.eng.Now(), Detail: fmt.Sprintf("pc %d out of program (%d instructions)", c.pc, len(c.prog))})
 		}
 		in := c.prog[c.pc]
 
@@ -395,7 +441,9 @@ func (c *CPU) run() {
 		case in.Op.IsMem():
 			addr := c.regs[in.Rs1] + uint64(in.Imm)
 			if addr%8 != 0 {
-				panic(fmt.Sprintf("cpu %d: unaligned access %#x at pc %d", c.id, addr, c.pc))
+				robust.Raise(&robust.SimError{Kind: robust.Program, Component: "cpu", Unit: c.id,
+					Cycle: c.eng.Now(), Line: addr, HasLine: true,
+					Detail: fmt.Sprintf("unaligned access at pc %d", c.pc)})
 			}
 			if !isa.IsShared(addr) {
 				c.execPrivate(in, addr, t)

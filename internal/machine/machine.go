@@ -18,6 +18,7 @@ import (
 	"memsim/internal/isa"
 	"memsim/internal/memory"
 	"memsim/internal/network"
+	"memsim/internal/robust"
 	"memsim/internal/sim"
 	"memsim/internal/trace"
 )
@@ -34,6 +35,13 @@ type Config struct {
 	LoadDelay   int // cycles; 0 means the paper's 4
 	BranchDelay int // cycles; 0 means LoadDelay
 	SharedWords int // flat shared-memory image size in 8-byte words
+
+	// Robustness and debugging knobs (package robust). All are off by
+	// default and none perturbs simulated timing when enabled; fault
+	// injection perturbs timing only, never results.
+	StallCycles int           // watchdog: fail if no instruction retires for this many cycles; 0 disables
+	CheckEvery  int           // coherence invariant check interval in cycles; 0 disables
+	Faults      robust.Faults // deterministic network fault injection; zero value disables
 }
 
 // withDefaults fills in the paper's default parameters.
@@ -59,18 +67,53 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+func powerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// validate runs after withDefaults, so zero-valued knobs have already
+// been replaced; what it rejects are values a caller set explicitly.
 func (c Config) validate() error {
 	if c.Procs < 2 {
 		return fmt.Errorf("machine: need >= 2 processors, got %d", c.Procs)
+	}
+	if !powerOfTwo(c.Procs) {
+		return fmt.Errorf("machine: processor count %d not a power of two", c.Procs)
 	}
 	switch c.LineSize {
 	case 8, 16, 32, 64, 128:
 	default:
 		return fmt.Errorf("machine: unsupported line size %d", c.LineSize)
 	}
+	if !powerOfTwo(c.CacheSize) {
+		return fmt.Errorf("machine: cache size %d not a power of two", c.CacheSize)
+	}
+	if c.Assoc < 1 {
+		return fmt.Errorf("machine: associativity %d must be >= 1", c.Assoc)
+	}
 	if c.CacheSize%(c.LineSize*c.Assoc) != 0 {
 		return fmt.Errorf("machine: cache size %d not divisible by %d-way sets of %dB lines",
 			c.CacheSize, c.Assoc, c.LineSize)
+	}
+	if c.MSHRs < 1 {
+		return fmt.Errorf("machine: MSHR count %d must be >= 1", c.MSHRs)
+	}
+	if c.NetBuf < 1 {
+		return fmt.Errorf("machine: network buffer size %d must be >= 1", c.NetBuf)
+	}
+	if c.LoadDelay < 1 || c.BranchDelay < 1 {
+		return fmt.Errorf("machine: load delay %d and branch delay %d must be >= 1",
+			c.LoadDelay, c.BranchDelay)
+	}
+	if c.SharedWords < 1 {
+		return fmt.Errorf("machine: shared image size %d words must be >= 1", c.SharedWords)
+	}
+	if c.StallCycles < 0 {
+		return fmt.Errorf("machine: negative watchdog window %d", c.StallCycles)
+	}
+	if c.CheckEvery < 0 {
+		return fmt.Errorf("machine: negative invariant check interval %d", c.CheckEvery)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("machine: %w", err)
 	}
 	return nil
 }
@@ -136,6 +179,10 @@ func New(cfg Config, progs [][]isa.Inst) (*Machine, error) {
 		shared: make([]uint64, cfg.SharedWords),
 	}
 	words := cfg.LineSize / 8
+	var faults *robust.Injector
+	if cfg.Faults.Enabled() {
+		faults = robust.NewInjector(cfg.Faults)
+	}
 
 	// Response network: memory -> caches. Data messages bind/install
 	// inside the cache with its own head/tail scheduling.
@@ -145,6 +192,7 @@ func New(cfg Config, progs [][]isa.Inst) (*Machine, error) {
 			Src: nm.Src, Dst: dst, What: msg.Kind.String(), Addr: msg.Line})
 		m.caches[dst].Receive(msg)
 	})
+	m.respNet.SetFaults(faults)
 	// Request network: caches -> memory. Data-carrying messages reach
 	// the module when their tail arrives.
 	m.reqNet = network.New(&m.Eng, cfg.Procs, cfg.NetBuf, func(dst int, nm network.Message) {
@@ -158,6 +206,7 @@ func New(cfg Config, progs [][]isa.Inst) (*Machine, error) {
 			m.modules[dst].Receive(src, msg)
 		}
 	})
+	m.reqNet.SetFaults(faults)
 
 	m.modules = make([]*memory.Module, cfg.Procs)
 	for i := 0; i < cfg.Procs; i++ {
@@ -236,11 +285,14 @@ func (m *Machine) WriteWord(addr uint64, v uint64) {
 
 func (m *Machine) wordIndex(addr uint64) uint64 {
 	if addr%8 != 0 {
-		panic(fmt.Sprintf("machine: unaligned shared access %#x", addr))
+		robust.Raise(&robust.SimError{Kind: robust.Program, Component: "machine", Unit: -1,
+			Cycle: m.Eng.Now(), Line: addr, HasLine: true, Detail: "unaligned shared access"})
 	}
 	i := addr / 8
 	if i >= uint64(len(m.shared)) {
-		panic(fmt.Sprintf("machine: shared address %#x beyond image (%d words)", addr, len(m.shared)))
+		robust.Raise(&robust.SimError{Kind: robust.Program, Component: "machine", Unit: -1,
+			Cycle: m.Eng.Now(), Line: addr, HasLine: true,
+			Detail: fmt.Sprintf("shared address beyond image (%d words)", len(m.shared))})
 	}
 	return i
 }
@@ -259,24 +311,92 @@ func (m *Machine) Config() Config { return m.cfg }
 func (m *Machine) Done() bool { return m.halted == m.cfg.Procs }
 
 // Run executes the machine to completion. maxEvents bounds the run (0
-// means a generous default); exceeding it returns an error, which
-// almost always means the simulated program livelocked or deadlocked.
-func (m *Machine) Run(maxEvents uint64) (Result, error) {
+// means a generous default).
+//
+// Every failure — a protocol slip deep inside a module or cache, a
+// watchdog stall, an invariant violation, an exceeded event budget, or
+// a quiesce deadlock — surfaces as a *robust.SimError with the
+// machine's diagnostic dump attached (see Diagnostics), never as a
+// panic escaping Run.
+func (m *Machine) Run(maxEvents uint64) (res Result, err error) {
 	if maxEvents == 0 {
 		maxEvents = 5_000_000_000
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		se, ok := robust.Recovered(r)
+		if !ok {
+			panic(r) // a genuine simulator bug, not a simulated failure
+		}
+		if se.Dump == "" {
+			se.Dump = m.Diagnostics(diagTraceEvents)
+		}
+		res, err = Result{}, se
+	}()
+	if m.cfg.StallCycles > 0 {
+		m.startWatchdog()
+	}
+	if m.cfg.CheckEvery > 0 {
+		m.Eng.Every(sim.Cycle(m.cfg.CheckEvery), func() bool {
+			if m.Done() {
+				return false
+			}
+			if err := m.CheckNow(); err != nil {
+				robust.Raise(err)
+			}
+			return true
+		})
 	}
 	for _, c := range m.cpus {
 		c.Start()
 	}
 	if !m.Eng.RunLimit(m.Done, maxEvents) {
-		return Result{}, fmt.Errorf("machine: run exceeded %d events at cycle %d (halted %d/%d)",
-			maxEvents, m.Eng.Now(), m.halted, m.cfg.Procs)
+		return Result{}, &robust.SimError{
+			Kind: robust.EventLimit, Component: "machine", Unit: -1, Cycle: m.Eng.Now(),
+			Detail: fmt.Sprintf("run exceeded %d events (halted %d/%d processors)",
+				maxEvents, m.halted, m.cfg.Procs),
+			Dump: m.Diagnostics(diagTraceEvents),
+		}
 	}
 	if !m.Done() {
-		return Result{}, fmt.Errorf("machine: engine quiesced with %d/%d processors halted (deadlock)",
-			m.halted, m.cfg.Procs)
+		return Result{}, &robust.SimError{
+			Kind: robust.Deadlock, Component: "machine", Unit: -1, Cycle: m.Eng.Now(),
+			Detail: fmt.Sprintf("engine quiesced with %d/%d processors halted",
+				m.halted, m.cfg.Procs),
+			Dump: m.Diagnostics(diagTraceEvents),
+		}
 	}
 	return m.result(), nil
+}
+
+// startWatchdog arms the stall watchdog: if no processor retires an
+// instruction for a full StallCycles window, the run fails with a
+// Stall error carrying a diagnostic dump.
+func (m *Machine) startWatchdog() {
+	w := &robust.Watchdog{
+		Window:   sim.Cycle(m.cfg.StallCycles),
+		Progress: m.totalInstructions,
+		Done:     m.Done,
+		OnStall: func(window sim.Cycle, progress uint64) {
+			robust.Raise(&robust.SimError{
+				Kind: robust.Stall, Component: "machine", Unit: -1, Cycle: m.Eng.Now(),
+				Detail: fmt.Sprintf("no instruction retired for %d cycles (%d retired total, %d/%d processors halted)",
+					window, progress, m.halted, m.cfg.Procs),
+			})
+		},
+	}
+	w.Start(&m.Eng)
+}
+
+func (m *Machine) totalInstructions() uint64 {
+	var n uint64
+	for _, c := range m.cpus {
+		n += c.Stats().Instructions
+	}
+	return n
 }
 
 func (m *Machine) result() Result {

@@ -107,7 +107,7 @@ func runToQuiescence(m *Machine) (Result, error) {
 func TestQuickModelsAgreeOnRandomRaceFreePrograms(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		procs := 4 + rng.Intn(5) // 4..8
+		procs := []int{2, 4, 8}[rng.Intn(3)] // Config requires a power of two
 		lineSize := []int{8, 16, 64}[rng.Intn(3)]
 		cacheSize := []int{512, 1024, 4096}[rng.Intn(3)]
 		progs, counters, expect := genRaceFreePrograms(rng, procs)

@@ -1,8 +1,7 @@
 package memory
 
 import (
-	"fmt"
-
+	"memsim/internal/robust"
 	"memsim/internal/sim"
 )
 
@@ -125,6 +124,13 @@ func NewModule(eng *sim.Engine, id, lineSize int, send func(dst int, m Msg) bool
 // Stats returns a copy of the activity counters.
 func (m *Module) Stats() Stats { return m.stats }
 
+// fail raises a structured protocol error for this module. It does not
+// return: the raise unwinds to Machine.Run, which reports it with a
+// diagnostic dump.
+func (m *Module) fail(op string, line uint64, format string, args ...interface{}) {
+	robust.Raisef("memory", m.id, m.eng.Now(), op, line, format, args...)
+}
+
 // Receive accepts one protocol message from a cache (delivered by the
 // request network). src is the sending cache's endpoint id. Data
 // messages are considered fully received when Receive is called: the
@@ -135,7 +141,7 @@ func (m *Module) Receive(src int, msg Msg) {
 		m.inq = append(m.inq, queued{request{src, msg}, m.eng.Now()})
 		m.kick()
 	default:
-		panic(fmt.Sprintf("memory: module received %s", msg.Kind))
+		m.fail(msg.Kind.String(), msg.Line, "module received response-class message from cache %d", src)
 	}
 }
 
@@ -153,7 +159,8 @@ func (m *Module) kick() {
 // setBusy occupies the module for d cycles and then runs fn.
 func (m *Module) setBusy(d sim.Cycle, fn func()) {
 	if m.busy {
-		panic("memory: module already busy")
+		robust.Raise(&robust.SimError{Kind: robust.Protocol, Component: "memory", Unit: m.id,
+			Cycle: m.eng.Now(), Detail: "module occupied while already busy"})
 	}
 	m.busy = true
 	m.busySince = m.eng.Now()
@@ -200,7 +207,7 @@ func (m *Module) process(r request) {
 	case FlushInv, FlushShare, InvAck:
 		m.completion(r.src, r.msg)
 	default:
-		panic(fmt.Sprintf("memory: process %s", r.msg.Kind))
+		m.fail(r.msg.Kind.String(), r.msg.Line, "unprocessable request from cache %d", r.src)
 	}
 }
 
@@ -225,7 +232,7 @@ func (m *Module) processRead(r request, e *entry) {
 			m.enqueueOut(owner, Msg{RecallShare, line}, nil)
 		})
 	default:
-		panic("memory: read in busy state")
+		m.fail(r.msg.Kind.String(), line, "read dequeued against a busy directory entry")
 	}
 }
 
@@ -281,7 +288,7 @@ func (m *Module) processWrite(r request, e *entry) {
 			m.enqueueOut(owner, Msg{RecallInv, line}, nil)
 		})
 	default:
-		panic("memory: write in busy state")
+		m.fail(r.msg.Kind.String(), line, "write dequeued against a busy directory entry")
 	}
 }
 
@@ -293,7 +300,7 @@ func (m *Module) processWriteBack(r request, e *entry) {
 	switch e.state {
 	case dirtySt:
 		if e.owner != r.src {
-			panic("memory: write-back from non-owner")
+			m.fail(r.msg.Kind.String(), r.msg.Line, "write-back from cache %d but owner is %d", r.src, e.owner)
 		}
 		e.state = uncached
 		e.owner = 0
@@ -304,11 +311,11 @@ func (m *Module) processWriteBack(r request, e *entry) {
 		// was in flight. Count the RAM write time but leave the
 		// transaction waiting for the ex-owner's InvAck.
 		if e.tx != txAwaitFlush {
-			panic("memory: write-back during invalidation transaction")
+			m.fail(r.msg.Kind.String(), r.msg.Line, "write-back from cache %d during an invalidation transaction", r.src)
 		}
 		m.setBusy(sim.Cycle(LookupCycles+InitiateCycles+m.words), nil)
 	default:
-		panic(fmt.Sprintf("memory: write-back in state %d", e.state))
+		m.fail(r.msg.Kind.String(), r.msg.Line, "write-back from cache %d in directory state %d", r.src, e.state)
 	}
 }
 
@@ -326,12 +333,12 @@ func (m *Module) serveData(dst int, msg Msg) {
 func (m *Module) completion(src int, msg Msg) {
 	e := m.dir[msg.Line]
 	if e == nil || e.state != busySt {
-		panic(fmt.Sprintf("memory: %s for non-busy line %#x", msg.Kind, msg.Line))
+		m.fail(msg.Kind.String(), msg.Line, "completion from cache %d for a line with no transaction in progress", src)
 	}
 	switch msg.Kind {
 	case FlushInv, FlushShare:
 		if e.tx != txAwaitFlush {
-			panic("memory: flush without recall")
+			m.fail(msg.Kind.String(), msg.Line, "flush from cache %d without a recall in progress", src)
 		}
 		m.finishTx(e, msg.Line)
 	case InvAck:
@@ -349,7 +356,7 @@ func (m *Module) completion(src int, msg Msg) {
 			// current; complete from RAM.
 			m.finishTx(e, msg.Line)
 		default:
-			panic("memory: unexpected InvAck")
+			m.fail(msg.Kind.String(), msg.Line, "invalidation ack from cache %d with no acks expected", src)
 		}
 	}
 }

@@ -12,28 +12,48 @@ type DirSnapshot struct {
 	Pending int // parked requests
 }
 
+func (s dirState) label() string {
+	switch s {
+	case uncached:
+		return "uncached"
+	case sharedSt:
+		return "shared"
+	case dirtySt:
+		return "dirty"
+	case busySt:
+		return "busy"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+func (m *Module) snapshotEntry(line uint64, e *entry) DirSnapshot {
+	return DirSnapshot{Line: line, State: e.state.label(), Sharers: e.sharers,
+		Owner: e.owner, Pending: len(e.pending)}
+}
+
 // SnapshotDir returns every directory entry. Intended for post-run
 // invariant checks; not part of the timing model.
 func (m *Module) SnapshotDir() []DirSnapshot {
 	var out []DirSnapshot
 	for line, e := range m.dir {
-		s := DirSnapshot{Line: line, Sharers: e.sharers, Owner: e.owner, Pending: len(e.pending)}
-		switch e.state {
-		case uncached:
-			s.State = "uncached"
-		case sharedSt:
-			s.State = "shared"
-		case dirtySt:
-			s.State = "dirty"
-		case busySt:
-			s.State = "busy"
-		default:
-			s.State = fmt.Sprintf("state(%d)", e.state)
-		}
-		out = append(out, s)
+		out = append(out, m.snapshotEntry(line, e))
 	}
 	return out
 }
+
+// DirEntry returns the directory snapshot for one line, if the module
+// has an entry for it. Diagnostics only.
+func (m *Module) DirEntry(line uint64) (DirSnapshot, bool) {
+	e := m.dir[line]
+	if e == nil {
+		return DirSnapshot{}, false
+	}
+	return m.snapshotEntry(line, e), true
+}
+
+// QueueDepth reports the module's input-queue occupancy and whether it
+// is currently busy (diagnostics).
+func (m *Module) QueueDepth() (queued int, busy bool) { return len(m.inq), m.busy }
 
 // Idle reports whether the module has no queued work and no occupancy
 // (used to assert full quiescence after a run).

@@ -26,6 +26,7 @@ package network
 import (
 	"fmt"
 
+	"memsim/internal/robust"
 	"memsim/internal/sim"
 )
 
@@ -46,6 +47,8 @@ type Stats struct {
 	BypassedOver uint64 // total queued messages jumped over
 	QueueDelay   uint64 // cycles messages spent waiting for busy links
 	Retries      uint64 // TrySend calls rejected because the buffer was full
+	FaultDelays  uint64 // port services stretched by fault injection
+	FaultCycles  uint64 // total extra cycles injected
 }
 
 // port is one link resource: an output port of a switch (or the
@@ -75,6 +78,9 @@ type Network struct {
 
 	deliver func(dst int, m Message)
 	onSpace []func() // per-source callback when entrance space frees
+
+	faults   *robust.Injector // nil: no fault injection
+	inFlight int              // messages injected but not yet delivered
 
 	stats Stats
 }
@@ -122,6 +128,27 @@ func (n *Network) Stages() int { return n.stages }
 // Stats returns a copy of the traffic counters.
 func (n *Network) Stats() Stats { return n.stats }
 
+// SetFaults installs a fault injector that stretches port service
+// times (see robust.Faults). Call before the run starts; a nil
+// injector disables injection.
+func (n *Network) SetFaults(inj *robust.Injector) { n.faults = inj }
+
+// Occupancy is a point-in-time view of the network's buffers for
+// diagnostic dumps.
+type Occupancy struct {
+	Entrance []int // queued messages per source entrance buffer
+	InFlight int   // messages injected but not yet delivered
+}
+
+// Occupancy snapshots buffer state. Read-only; safe at any cycle.
+func (n *Network) Occupancy() Occupancy {
+	o := Occupancy{Entrance: make([]int, n.ports), InFlight: n.inFlight}
+	for i := range n.entrance {
+		o.Entrance[i] = len(n.entrance[i].queue)
+	}
+	return o
+}
+
 // HeadLatency is the uncontended cycles from TrySend to head delivery:
 // one cycle through the entrance buffer plus one per stage.
 func (n *Network) HeadLatency() int { return n.stages + 1 }
@@ -140,7 +167,8 @@ func (n *Network) linkAfter(src, dst, k int) int {
 // whose TrySend was rejected.
 func (n *Network) WhenSpace(src int, fn func()) {
 	if n.onSpace[src] != nil {
-		panic("network: WhenSpace already registered for source")
+		robust.Raise(&robust.SimError{Kind: robust.Protocol, Component: "network", Unit: src,
+			Cycle: n.eng.Now(), Detail: "WhenSpace already registered for source"})
 	}
 	n.onSpace[src] = fn
 }
@@ -150,10 +178,12 @@ func (n *Network) WhenSpace(src int, fn func()) {
 // a WhenSpace callback and retry.
 func (n *Network) TrySend(m Message) bool {
 	if m.Src < 0 || m.Src >= n.ports || m.Dst < 0 || m.Dst >= n.ports {
-		panic(fmt.Sprintf("network: endpoint out of range in %+v", m))
+		robust.Raise(&robust.SimError{Kind: robust.Protocol, Component: "network", Unit: m.Src,
+			Cycle: n.eng.Now(), Detail: fmt.Sprintf("endpoint out of range in %+v", m)})
 	}
 	if m.Flits < 1 {
-		panic(fmt.Sprintf("network: message with %d flits", m.Flits))
+		robust.Raise(&robust.SimError{Kind: robust.Protocol, Component: "network", Unit: m.Src,
+			Cycle: n.eng.Now(), Detail: fmt.Sprintf("message with %d flits", m.Flits)})
 	}
 	p := &n.entrance[m.Src]
 	if len(p.queue) >= n.bufCap {
@@ -169,6 +199,7 @@ func (n *Network) TrySend(m Message) bool {
 		p.queue = append(p.queue, t)
 	}
 	n.stats.Flits += uint64(m.Flits)
+	n.inFlight++
 	n.kick(p, m.Src)
 	return true
 }
@@ -196,10 +227,20 @@ func (n *Network) kick(p *port, entranceSrc int) {
 	n.stats.QueueDelay += uint64(n.eng.Now() - t.queued)
 	flits := sim.Cycle(t.msg.Flits)
 
+	// Fault injection stretches this service: the head advances and
+	// the port frees `extra` cycles late. Because the stretch applies
+	// to the whole port service, per-port FIFO order — and with it
+	// same-(source,destination) delivery order — is preserved.
+	extra := sim.Cycle(n.faults.ExtraDelay())
+	if extra > 0 {
+		n.stats.FaultDelays++
+		n.stats.FaultCycles += uint64(extra)
+	}
+
 	// Head advances to the next hop one cycle after service starts.
-	n.eng.After(1, func() { n.advance(t) })
+	n.eng.After(1+extra, func() { n.advance(t) })
 	// The link is busy for the full message length.
-	n.eng.After(flits, func() {
+	n.eng.After(flits+extra, func() {
 		p.busy = false
 		n.kick(p, entranceSrc)
 	})
@@ -218,6 +259,7 @@ func (n *Network) advance(t *transit) {
 	t.hop++
 	if t.hop > n.stages {
 		n.stats.Messages++
+		n.inFlight--
 		n.deliver(t.msg.Dst, t.msg)
 		return
 	}

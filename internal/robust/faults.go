@@ -1,0 +1,74 @@
+package robust
+
+import "fmt"
+
+// Faults configures deterministic network fault injection: each time a
+// network port begins servicing a message, with probability DelayProb
+// its service is stretched by an extra delay drawn uniformly from
+// [1, MaxExtraDelay] cycles. Delays are applied at the port level, so
+// per-port FIFO order — and therefore delivery order between any
+// (source, destination) pair — is preserved; the perturbation changes
+// timing only, never the protocol's message ordering guarantees.
+//
+// The zero value disables injection. Injection is fully determined by
+// Seed and the (deterministic) order of port service events, so a run
+// with a given Faults value is exactly reproducible.
+type Faults struct {
+	Seed          int64
+	DelayProb     float64 // per-service probability of injecting a delay
+	MaxExtraDelay int     // inclusive upper bound on the injected cycles
+}
+
+// Enabled reports whether the configuration injects any faults.
+func (f Faults) Enabled() bool { return f.DelayProb > 0 && f.MaxExtraDelay > 0 }
+
+// Validate rejects malformed fault configurations.
+func (f Faults) Validate() error {
+	if f.DelayProb < 0 || f.DelayProb > 1 {
+		return fmt.Errorf("robust: fault delay probability %v outside [0,1]", f.DelayProb)
+	}
+	if f.MaxExtraDelay < 0 {
+		return fmt.Errorf("robust: negative max extra delay %d", f.MaxExtraDelay)
+	}
+	return nil
+}
+
+// Injector draws per-service extra delays from a splitmix64 stream.
+// One injector may be shared by several networks: draws interleave in
+// deterministic engine order.
+type Injector struct {
+	cfg      Faults
+	state    uint64
+	Injected uint64 // services that received an extra delay
+	Extra    uint64 // total extra cycles injected
+}
+
+// NewInjector builds an injector for the given configuration. A nil
+// injector (and one built from a disabled Faults) injects nothing.
+func NewInjector(f Faults) *Injector {
+	return &Injector{cfg: f, state: uint64(f.Seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
+}
+
+func (in *Injector) next() uint64 {
+	in.state += 0x9e3779b97f4a7c15
+	z := in.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// ExtraDelay returns the cycles to add to the current port service:
+// zero most of the time, 1..MaxExtraDelay with probability DelayProb.
+// Safe on a nil receiver.
+func (in *Injector) ExtraDelay() int {
+	if in == nil || !in.cfg.Enabled() {
+		return 0
+	}
+	if float64(in.next()>>11)/(1<<53) >= in.cfg.DelayProb {
+		return 0
+	}
+	d := 1 + int(in.next()%uint64(in.cfg.MaxExtraDelay))
+	in.Injected++
+	in.Extra += uint64(d)
+	return d
+}

@@ -1,0 +1,147 @@
+// Package robust provides the simulator's structured failure handling:
+// a typed SimError that protocol components raise in place of bare
+// panics, a stall watchdog that detects runs making no forward
+// progress, and a deterministic fault injector used to stretch network
+// latencies in liveness tests.
+//
+// Raising works by panicking with a *SimError; the machine layer
+// recovers typed raises at the Run boundary, attaches a diagnostic
+// dump, and returns them as ordinary errors. Any other panic value is
+// a genuine simulator bug and propagates unchanged.
+package robust
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a SimError.
+type Kind uint8
+
+const (
+	// Protocol: a coherence-protocol component received a message or
+	// reached a state the protocol forbids (e.g. a write-back from a
+	// non-owner). These indicate either a simulator bug or injected
+	// corruption.
+	Protocol Kind = iota
+	// Invariant: the periodic coherence invariant checker found an
+	// inconsistency between cache states, directory state, and the
+	// authoritative memory image.
+	Invariant
+	// Stall: the watchdog observed a full window of cycles in which no
+	// processor retired an instruction.
+	Stall
+	// Deadlock: the event queue drained with processors still running.
+	Deadlock
+	// EventLimit: the run exceeded its event budget (livelock guard).
+	EventLimit
+	// Program: the simulated program itself misbehaved (runaway local
+	// loop, PC out of range, unaligned access).
+	Program
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Protocol:
+		return "protocol"
+	case Invariant:
+		return "invariant"
+	case Stall:
+		return "stall"
+	case Deadlock:
+		return "deadlock"
+	case EventLimit:
+		return "event-limit"
+	case Program:
+		return "program"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// SimError is a structured simulator failure. Component names the
+// layer that detected it ("memory", "network", "cache", "cpu",
+// "machine"); Unit is the component index (module/cache/processor id)
+// or -1 when not applicable; Op is the protocol message kind or
+// operation involved, if any; Line is the line or word address
+// involved, valid only when HasLine is set (line 0 is a legal
+// address). Dump, when non-empty, carries the machine layer's
+// diagnostic dump rendered at the failure cycle.
+type SimError struct {
+	Kind      Kind
+	Component string
+	Unit      int
+	Cycle     uint64
+	Op        string
+	Line      uint64
+	HasLine   bool
+	Detail    string
+	Dump      string
+}
+
+// Error renders the failure as a single structured line, e.g.
+//
+//	protocol error [memory module 3, cycle 1294, WriteBack, line 0x1a0]: write-back from non-owner
+func (e *SimError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s error [%s", e.Kind, e.Component)
+	if e.Unit >= 0 {
+		fmt.Fprintf(&sb, " %s %d", unitNoun(e.Component), e.Unit)
+	}
+	fmt.Fprintf(&sb, ", cycle %d", e.Cycle)
+	if e.Op != "" {
+		fmt.Fprintf(&sb, ", %s", e.Op)
+	}
+	if e.HasLine {
+		fmt.Fprintf(&sb, ", line %#x", e.Line)
+	}
+	sb.WriteString("]: ")
+	sb.WriteString(e.Detail)
+	return sb.String()
+}
+
+func unitNoun(component string) string {
+	switch component {
+	case "memory":
+		return "module"
+	case "cache":
+		return "cache"
+	case "cpu":
+		return "cpu"
+	case "network":
+		return "port"
+	}
+	return "unit"
+}
+
+// Raise panics with a *SimError so a failure deep inside an event
+// callback unwinds to the machine's Run boundary, where it is
+// recovered and returned as an ordinary error.
+func Raise(e *SimError) {
+	panic(e)
+}
+
+// Raisef raises a line-addressed Protocol error: the common case for
+// directory, cache and network protocol slips.
+func Raisef(component string, unit int, cycle uint64, op string, line uint64, format string, args ...interface{}) {
+	Raise(&SimError{
+		Kind:      Protocol,
+		Component: component,
+		Unit:      unit,
+		Cycle:     cycle,
+		Op:        op,
+		Line:      line,
+		HasLine:   true,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// Recovered converts a value obtained from recover() into a *SimError.
+// It returns nil for nil and false for foreign panic values (which the
+// caller should re-panic).
+func Recovered(r interface{}) (*SimError, bool) {
+	if r == nil {
+		return nil, true
+	}
+	se, ok := r.(*SimError)
+	return se, ok
+}

@@ -1,0 +1,46 @@
+package robust
+
+import "memsim/internal/sim"
+
+// Watchdog detects stalled simulations: every Window cycles it samples
+// a monotone progress counter (for the machine, total instructions
+// retired) and invokes OnStall if a full window elapsed with no
+// change. Done short-circuits the check and stops the watchdog once
+// the run has finished, so residual ticks never fire after completion.
+//
+// The watchdog schedules one engine event per window; it reads state
+// only and therefore never perturbs simulated timing.
+type Watchdog struct {
+	Window   sim.Cycle
+	Progress func() uint64 // monotone forward-progress counter
+	Done     func() bool   // run-finished predicate; stops the ticks
+	OnStall  func(window sim.Cycle, progress uint64)
+
+	last  uint64
+	armed bool
+}
+
+// Start arms the watchdog on the engine. It panics (a configuration
+// bug, not a simulated failure) if the window or callbacks are unset.
+func (w *Watchdog) Start(eng *sim.Engine) {
+	if w.Window == 0 || w.Progress == nil || w.OnStall == nil {
+		panic("robust: watchdog needs Window, Progress and OnStall")
+	}
+	if w.armed {
+		panic("robust: watchdog started twice")
+	}
+	w.armed = true
+	w.last = w.Progress()
+	eng.Every(w.Window, func() bool {
+		if w.Done != nil && w.Done() {
+			return false
+		}
+		cur := w.Progress()
+		if cur == w.last {
+			w.OnStall(w.Window, cur)
+			return false // OnStall normally raises; stop if it returns
+		}
+		w.last = cur
+		return true
+	})
+}

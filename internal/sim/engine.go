@@ -72,6 +72,23 @@ func (e *Engine) After(delay Cycle, fn func()) {
 	e.At(e.now+delay, fn)
 }
 
+// Every schedules fn to run every interval cycles, starting interval
+// cycles from now, for as long as fn returns true. Periodic observers
+// (watchdogs, invariant checkers) use it; a zero interval panics
+// because it would wedge the queue at the current cycle.
+func (e *Engine) Every(interval Cycle, fn func() bool) {
+	if interval == 0 {
+		panic("sim: Every with zero interval")
+	}
+	var tick func()
+	tick = func() {
+		if fn() {
+			e.After(interval, tick)
+		}
+	}
+	e.After(interval, tick)
+}
+
 // Pending reports whether any events remain in the queue.
 func (e *Engine) Pending() bool { return len(e.queue) > 0 }
 

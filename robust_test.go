@@ -1,0 +1,60 @@
+package memsim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"memsim"
+	"memsim/internal/robust"
+)
+
+// TestRunDeterminism asserts that a run is a pure function of its
+// Config and workload: repeating it — with or without fault injection,
+// as long as the fault seed matches — yields byte-identical Results.
+func TestRunDeterminism(t *testing.T) {
+	w := memsim.GaussWorkload(4, 12, 3)
+	for _, tc := range []struct {
+		name   string
+		faults robust.Faults
+	}{
+		{"clean", robust.Faults{}},
+		{"faulted", robust.Faults{Seed: 5, DelayProb: 0.08, MaxExtraDelay: 8}},
+	} {
+		cfg := memsim.Config{Model: memsim.SC1, CacheSize: 2048, LineSize: 16, Faults: tc.faults}
+		first, err := memsim.Run(cfg, w)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		second, err := memsim.Run(cfg, w)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(first, second) {
+			t.Errorf("%s: identical runs produced different Results", tc.name)
+		}
+	}
+}
+
+// TestFaultInjectionLiveness is the robustness acceptance property:
+// with network latencies randomly stretched, every consistency model
+// still completes each run — under an armed watchdog and the periodic
+// invariant checker — and the workload's own validation of the final
+// shared-memory image passes. Architectural results must not depend
+// on timing.
+func TestFaultInjectionLiveness(t *testing.T) {
+	models := []memsim.Model{memsim.SC1, memsim.SC2, memsim.WO1, memsim.WO2, memsim.RC}
+	w := memsim.GaussWorkload(4, 12, 7)
+	for _, model := range models {
+		for seed := int64(1); seed <= 8; seed++ {
+			cfg := memsim.Config{
+				Model: model, CacheSize: 2048, LineSize: 16,
+				StallCycles: 1_000_000,
+				CheckEvery:  512,
+				Faults:      robust.Faults{Seed: seed, DelayProb: 0.1, MaxExtraDelay: 11},
+			}
+			if _, err := memsim.Run(cfg, w); err != nil {
+				t.Errorf("%v seed %d: %v", model, seed, err)
+			}
+		}
+	}
+}
