@@ -7,6 +7,12 @@
 //	mcsim -bench relax -sched miss-first -model SC1
 //	mcsim -bench qsort -n 20000 -model RC -v
 //
+// Observability (package metrics):
+//
+//	mcsim -bench qsort -model WO1 -metrics -          # stall/latency report as JSON on stdout
+//	mcsim -bench gauss -hist                          # stall table + latency histograms, text
+//	mcsim -bench gauss -metrics m.json -metrics-csv m.csv -chrome-trace t.json
+//
 // Robustness and debugging:
 //
 //	mcsim -bench gauss -stall-cycles 200000 -check-every 5000 -diag
@@ -21,6 +27,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"memsim"
@@ -43,6 +50,12 @@ func main() {
 		seed  = flag.Int64("seed", 1992, "workload seed")
 		vflag = flag.Bool("v", false, "print per-processor detail")
 		trc   = flag.Int("trace", 0, "dump the last N coherence-protocol events")
+
+		metricsF = flag.String("metrics", "", "write the cycle-attribution report as JSON to this file (\"-\": stdout)")
+		csvF     = flag.String("metrics-csv", "", "write the cycle-attribution report as CSV to this file")
+		chromeF  = flag.String("chrome-trace", "", "write a Chrome trace-event timeline (Perfetto-loadable) to this file")
+		histF    = flag.Bool("hist", false, "print the stall breakdown and latency histograms as text")
+		epochF   = flag.Uint64("epoch", 0, "utilization sampling epoch in cycles (0: default 4096)")
 
 		diag       = flag.Bool("diag", false, "print a full diagnostic dump if the run fails")
 		stall      = flag.Int("stall-cycles", 0, "fail if no instruction retires for N cycles (0: off)")
@@ -82,7 +95,14 @@ func main() {
 		rec = trace.New(64)
 		rec.EnableOnly(trace.ReqSend, trace.ReqRecv, trace.RespSend, trace.RespRecv)
 	}
-	res, err := run(cfg, w, rec)
+	var mc *memsim.Metrics
+	if *metricsF != "" || *csvF != "" || *chromeF != "" || *histF {
+		mc = memsim.NewMetrics()
+		if *epochF > 0 {
+			mc.SetEpoch(*epochF)
+		}
+	}
+	res, err := run(cfg, w, rec, mc)
 	if err != nil {
 		var se *robust.SimError
 		if *diag && errors.As(err, &se) && se.Dump != "" {
@@ -95,6 +115,7 @@ func main() {
 		w.Name, m, *procs, *cache>>10, *line, *delay)
 	fmt.Printf("  run time        %12d cycles\n", res.Cycles)
 	fmt.Printf("  instructions    %12d\n", res.Instructions())
+	fmt.Printf("  memory wait     %12d cycles  (MWPI %.3f)\n", res.MemoryWaitCycles(), res.MWPI())
 	fmt.Printf("  shared reads    %12d  (hit %5.1f%%)\n", res.TotalReads(), 100*res.ReadHitRate())
 	fmt.Printf("  shared writes   %12d  (hit %5.1f%%)\n", res.TotalWrites(), 100*res.WriteHitRate())
 	fmt.Printf("  overall hits    %17.1f%%\n", 100*res.HitRate())
@@ -115,16 +136,65 @@ func main() {
 	if *vflag {
 		fmt.Println("  per processor:")
 		for i, c := range res.CPUs {
-			fmt.Printf("   cpu%-2d instr=%-9d sync=%-7d stalls: interlock=%d outstanding=%d conflict=%d drain=%d sync=%d blocking=%d\n",
+			fmt.Printf("   cpu%-2d instr=%-9d sync=%-7d stalls: interlock=%d loadwait=%d outstanding=%d conflict=%d drain=%d sync=%d blocking=%d release=%d\n",
 				i, c.Instructions, c.SyncOps,
-				c.StallInterlock, c.StallOutstanding, c.StallConflict,
-				c.StallDrain, c.StallSync, c.StallBlocking)
+				c.StallInterlock, c.StallLoadWait, c.StallOutstanding, c.StallConflict,
+				c.StallDrain, c.StallSync, c.StallBlocking, c.StallRelease)
+		}
+	}
+
+	if mc != nil {
+		if err := emitMetrics(mc, res, *metricsF, *csvF, *chromeF, *histF); err != nil {
+			fatal(err)
 		}
 	}
 }
 
-// run executes the workload, optionally with a protocol tracer.
-func run(cfg memsim.Config, w memsim.Workload, rec *trace.Recorder) (memsim.Result, error) {
+// emitMetrics writes the requested exporter outputs from one collector.
+func emitMetrics(mc *memsim.Metrics, res memsim.Result, jsonF, csvF, chromeF string, hist bool) error {
+	rep := mc.Report(uint64(res.Cycles))
+	if hist {
+		fmt.Println()
+		rep.WriteText(os.Stdout)
+	}
+	if jsonF == "-" {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else if jsonF != "" {
+		if err := writeTo(jsonF, rep.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if csvF != "" {
+		if err := writeTo(csvF, rep.WriteCSV); err != nil {
+			return err
+		}
+	}
+	if chromeF != "" {
+		if err := writeTo(chromeF, mc.WriteChromeTrace); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTo creates path and streams one exporter into it.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// run executes the workload, optionally with a protocol tracer and a
+// metrics collector.
+func run(cfg memsim.Config, w memsim.Workload, rec *trace.Recorder, mc *memsim.Metrics) (memsim.Result, error) {
 	if cfg.Procs == 0 {
 		cfg.Procs = w.Procs
 	}
@@ -138,6 +208,7 @@ func run(cfg memsim.Config, w memsim.Workload, rec *trace.Recorder) (memsim.Resu
 	if rec != nil {
 		m.AttachTracer(rec)
 	}
+	m.AttachMetrics(mc)
 	if w.Setup != nil {
 		w.Setup(m.Shared())
 	}

@@ -6,10 +6,17 @@
 //	sweep -exp f4,f9 -preset quick   # selected experiments
 //	sweep -all -preset paper         # the original sizes (very slow)
 //	sweep -all -out EXPERIMENTS.out  # also write the report to a file
+//	sweep -all -j 4                  # run experiments on 4 workers
+//	sweep -exp t2 -metrics-dir m/    # per-run cycle-attribution JSON
 //
 // Experiments: t2 (Table 2 + appendix), f2, f4, f5, f6, f7, f8, f9,
 // t3-6 (the delay-sensitivity tables), plus the extension ablations
 // rwo (read-with-ownership Qsort) and mshr (WO1 MSHR-count sweep).
+//
+// One Runner (and its memoization cache) is shared by every path —
+// -md and -all/-exp together run shared baselines once, and -j spreads
+// experiments over a bounded worker pool with output still printed in
+// id order.
 package main
 
 import (
@@ -17,10 +24,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"memsim/internal/experiments"
+	"memsim/internal/machine"
+	"memsim/internal/metrics"
 	"memsim/internal/robust"
 )
 
@@ -33,6 +45,8 @@ func main() {
 		mdF    = flag.String("md", "", "write the full EXPERIMENTS.md-style report to this file")
 		quiet  = flag.Bool("q", false, "suppress per-run progress")
 		diagF  = flag.Bool("diag", false, "print the diagnostic dump if a run fails")
+		jobs   = flag.Int("j", 1, "experiments run concurrently (0: one per CPU)")
+		metDir = flag.String("metrics-dir", "", "write one cycle-attribution JSON per fresh run into this directory")
 	)
 	diag = diagF
 	flag.Parse()
@@ -49,11 +63,21 @@ func main() {
 		fatal(fmt.Errorf("unknown preset %q", *preset))
 	}
 
-	if *mdF != "" {
-		r := experiments.NewRunner(params)
-		if !*quiet {
-			r.Log = os.Stderr
+	// One Runner serves every path below, so baselines shared between
+	// the markdown report and the selected experiments are simulated
+	// exactly once.
+	r := experiments.NewRunner(params)
+	if !*quiet {
+		r.Log = os.Stderr
+	}
+	if *metDir != "" {
+		if err := os.MkdirAll(*metDir, 0o755); err != nil {
+			fatal(err)
 		}
+		r.MetricsSink = metricsSink(*metDir)
+	}
+
+	if *mdF != "" {
 		f, err := os.Create(*mdF)
 		if err != nil {
 			fatal(err)
@@ -80,24 +104,72 @@ func main() {
 		os.Exit(2)
 	}
 
-	r := experiments.NewRunner(params)
-	if !*quiet {
-		r.Log = os.Stderr
+	workers := *jobs
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(ids) {
+		workers = len(ids)
 	}
 
+	// Run the experiments on a bounded worker pool; results land in a
+	// slice indexed by position so output order stays deterministic.
+	type outcome struct {
+		text string
+		err  error
+	}
+	results := make([]outcome, len(ids))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, id := range ids {
+		i, id := i, strings.TrimSpace(id)
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			text, err := runOne(r, id)
+			results[i] = outcome{text, err}
+		}()
+	}
+	wg.Wait()
+
 	var report strings.Builder
-	for _, id := range ids {
-		s, err := runOne(r, strings.TrimSpace(id))
-		if err != nil {
-			fatal(err)
+	for _, res := range results {
+		if res.err != nil {
+			fatal(res.err)
 		}
-		report.WriteString(s)
+		report.WriteString(res.text)
 		report.WriteString("\n")
-		fmt.Println(s)
+		fmt.Println(res.text)
 	}
 	if *outF != "" {
 		if err := os.WriteFile(*outF, []byte(report.String()), 0o644); err != nil {
 			fatal(err)
+		}
+	}
+}
+
+// metricsSink writes one cycle-attribution JSON per fresh run into
+// dir, named after the run's description.
+func metricsSink(dir string) func(string, machine.Result, *metrics.Collector) {
+	var mu sync.Mutex
+	return func(desc string, res machine.Result, mc *metrics.Collector) {
+		name := strings.NewReplacer("/", "_", " ", "").Replace(desc) + ".json"
+		rep := mc.Report(uint64(res.Cycles))
+		f, err := os.Create(filepath.Join(dir, name))
+		if err == nil {
+			if werr := rep.WriteJSON(f); werr == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+				err = werr
+			}
+		}
+		if err != nil {
+			mu.Lock()
+			fmt.Fprintf(os.Stderr, "sweep: metrics %s: %v\n", desc, err)
+			mu.Unlock()
 		}
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"fmt"
 
 	"memsim/internal/memory"
+	"memsim/internal/metrics"
 	"memsim/internal/robust"
 	"memsim/internal/sim"
 )
@@ -135,6 +136,7 @@ type mshr struct {
 	excl     bool
 	early    bool // bind at the first word even though excl (ReadOwn)
 	prefetch bool
+	issuedAt sim.Cycle // when the request was sent (metrics)
 	onBind   func()
 	onRetire func()
 }
@@ -168,6 +170,7 @@ type Cache struct {
 
 	lruClock uint64
 	stats    Stats
+	mc       *metrics.Collector // nil: no metrics collection
 }
 
 // Config sizes a cache.
@@ -208,6 +211,11 @@ func New(eng *sim.Engine, id int, cfg Config, send func(msg memory.Msg, bypass b
 
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
+
+// SetMetrics attaches a cycle-attribution collector (nil disables).
+// The cache reports line-fill latencies; collection never changes
+// timing.
+func (c *Cache) SetMetrics(mc *metrics.Collector) { c.mc = mc }
 
 // fail raises a structured protocol error for this cache; it unwinds
 // to Machine.Run rather than returning.
@@ -370,6 +378,7 @@ func (c *Cache) missDemand(r Request, lineAddr uint64, excl bool) Outcome {
 		line:     lineAddr,
 		excl:     excl,
 		early:    r.Kind == ReadOwn,
+		issuedAt: c.eng.Now(),
 		onBind:   r.OnBind,
 		onRetire: r.OnRetire,
 	}
@@ -398,7 +407,7 @@ func (c *Cache) prefetch(r Request, lineAddr uint64, ln *line) Outcome {
 	if m == nil {
 		return Full
 	}
-	*m = mshr{valid: true, line: lineAddr, excl: excl, prefetch: true}
+	*m = mshr{valid: true, line: lineAddr, excl: excl, prefetch: true, issuedAt: c.eng.Now()}
 	c.stats.Prefetches++
 	kind := memory.ReadReq
 	if excl {
@@ -470,6 +479,7 @@ func (c *Cache) receiveData(msg memory.Msg) {
 	retireDelay := sim.Cycle(c.words)
 	c.eng.After(retireDelay, func() {
 		c.install(msg.Line, excl)
+		c.mc.Fill(m.issuedAt, c.eng.Now())
 		onRetire := m.onRetire
 		lateBind := bind
 		*m = mshr{}

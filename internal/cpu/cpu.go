@@ -24,6 +24,7 @@ import (
 	"memsim/internal/cache"
 	"memsim/internal/consistency"
 	"memsim/internal/isa"
+	"memsim/internal/metrics"
 	"memsim/internal/robust"
 	"memsim/internal/sim"
 )
@@ -46,7 +47,8 @@ type Stats struct {
 	Releases     uint64 // background releases completed (RC)
 	HaltCycle    sim.Cycle
 
-	StallInterlock   uint64 // waiting for a register (load/branch delay)
+	StallInterlock   uint64 // in-pipeline register wait (load/branch delay slots)
+	StallLoadWait    uint64 // waiting for a register bound to an outstanding load miss
 	StallOutstanding uint64 // SC: access blocked behind an outstanding one
 	StallConflict    uint64 // pending-MSHR conflict or MSHR full
 	StallDrain       uint64 // waiting for outstanding refs before a sync
@@ -101,8 +103,9 @@ type completion struct{ done bool }
 type pendingRelease struct {
 	addr      uint64
 	value     uint64
-	waitCount int  // outstanding refs at issue yet to retire
-	issued    bool // handed to the cache
+	waitCount int       // outstanding refs at issue yet to retire
+	issued    bool      // handed to the cache
+	issuedAt  sim.Cycle // when the releasing store executed (metrics)
 }
 
 // notReady marks a register whose value awaits an outstanding miss.
@@ -138,6 +141,7 @@ type CPU struct {
 	scheduled bool
 	parked    bool
 	parkWhy   parkReason
+	parkCause metrics.StallCause
 	parkedAt  sim.Cycle
 
 	awaiting      *completion // issued sync/blocking op not yet complete
@@ -150,6 +154,7 @@ type CPU struct {
 	onHalt func(id int)
 
 	stats Stats
+	mc    *metrics.Collector // nil: no metrics collection
 }
 
 // Config carries the per-CPU construction parameters.
@@ -208,6 +213,10 @@ func (c *CPU) Priv() *PrivMem { return c.priv }
 // Stats returns a copy of the counters.
 func (c *CPU) Stats() Stats { return c.stats }
 
+// SetMetrics attaches a cycle-attribution collector (nil disables).
+// Collection is purely observational: it never changes timing.
+func (c *CPU) SetMetrics(mc *metrics.Collector) { c.mc = mc }
+
 // Halted reports whether the program has finished.
 func (c *CPU) Halted() bool { return c.halted }
 
@@ -258,7 +267,9 @@ func (c *CPU) reconsider() {
 	if c.parkedAt > at {
 		at = c.parkedAt
 	}
-	c.accountStall(c.parkWhy, uint64(at-c.parkedAt))
+	dur := uint64(at - c.parkedAt)
+	c.accountStall(c.parkWhy, dur)
+	c.mc.Stall(c.id, c.parkCause, c.parkedAt, dur)
 	c.parkWhy = parkNone
 	c.schedule(at)
 }
@@ -267,13 +278,31 @@ func (c *CPU) reconsider() {
 func (c *CPU) park(why parkReason, t sim.Cycle) {
 	c.parked = true
 	c.parkWhy = why
+	c.parkCause = stallCauseOf(why)
 	c.parkedAt = t
+}
+
+// stallCauseOf maps a park reason onto the metrics stall taxonomy.
+// MSHR-full is distinguished from a same-line conflict at the park
+// site, which overrides the default mapping.
+func stallCauseOf(why parkReason) metrics.StallCause {
+	switch why {
+	case parkRegs, parkBlocking:
+		return metrics.CauseLoadMiss
+	case parkOutstanding, parkRelease:
+		return metrics.CauseStoreOwn
+	case parkDrain, parkSync, parkHalt:
+		return metrics.CauseSyncDrain
+	case parkConflict:
+		return metrics.CauseMSHRConflict
+	}
+	return metrics.CauseInterlock
 }
 
 func (c *CPU) accountStall(why parkReason, cycles uint64) {
 	switch why {
 	case parkRegs:
-		c.stats.StallInterlock += cycles
+		c.stats.StallLoadWait += cycles
 	case parkOutstanding:
 		c.stats.StallOutstanding += cycles
 	case parkConflict:
@@ -380,6 +409,7 @@ func (c *CPU) run() {
 		}
 		if ready > t {
 			c.stats.StallInterlock += uint64(ready - t)
+			c.mc.Stall(c.id, metrics.CauseInterlock, t, uint64(ready-t))
 			t = ready
 		}
 

@@ -483,10 +483,13 @@ func TestStallAccountingSumsReasonably(t *testing.T) {
 	r := newRig(t, consistency.SC1, prog)
 	r.run(t)
 	st := r.cpu.Stats()
-	total := st.StallInterlock + st.StallOutstanding + st.StallDrain +
-		st.StallSync + st.StallBlocking + st.StallConflict
+	total := st.StallInterlock + st.StallLoadWait + st.StallOutstanding +
+		st.StallDrain + st.StallSync + st.StallBlocking + st.StallConflict
 	if total == 0 {
 		t.Fatal("no stalls recorded for a dependent miss")
+	}
+	if st.StallLoadWait == 0 {
+		t.Error("dependent miss did not account as load wait")
 	}
 	if total > uint64(st.HaltCycle) {
 		t.Errorf("stall cycles %d exceed run time %d", total, st.HaltCycle)

@@ -6,6 +6,7 @@ import (
 
 	"memsim/internal/cache"
 	"memsim/internal/isa"
+	"memsim/internal/metrics"
 	"memsim/internal/sim"
 )
 
@@ -224,6 +225,7 @@ func (c *CPU) plainAccess(in isa.Inst, addr uint64, t sim.Cycle) (accStatus, sim
 
 	kind, bypass := c.cacheKind(in.Op)
 	seq := c.missSeq + 1
+	issue := t
 	req := cache.Request{Kind: kind, Addr: addr, Bypass: bypass}
 	var comp *completion
 	switch in.Op {
@@ -232,6 +234,7 @@ func (c *CPU) plainAccess(in isa.Inst, addr uint64, t sim.Cycle) (accStatus, sim
 		req.OnBind = func() {
 			v := c.mem.ReadWord(addr)
 			c.setReg(rd, v, c.eng.Now())
+			c.mc.Ref(metrics.RefReadMiss, issue, c.eng.Now())
 			if comp != nil {
 				comp.done = true
 			}
@@ -239,13 +242,17 @@ func (c *CPU) plainAccess(in isa.Inst, addr uint64, t sim.Cycle) (accStatus, sim
 		}
 	case isa.ST:
 		v := c.regs[in.Rs2]
-		req.OnBind = func() { c.mem.WriteWord(addr, v) }
+		req.OnBind = func() {
+			c.mem.WriteWord(addr, v)
+			c.mc.Ref(metrics.RefWriteMiss, issue, c.eng.Now())
+		}
 	case isa.TAS:
 		rd := in.Rd
 		req.OnBind = func() {
 			old := c.mem.ReadWord(addr)
 			c.mem.WriteWord(addr, 1)
 			c.setReg(rd, old, c.eng.Now())
+			c.mc.Ref(metrics.RefWriteMiss, issue, c.eng.Now())
 			if comp != nil {
 				comp.done = true
 			}
@@ -257,6 +264,7 @@ func (c *CPU) plainAccess(in isa.Inst, addr uint64, t sim.Cycle) (accStatus, sim
 	switch c.cache.Access(req) {
 	case cache.Hit:
 		c.performHit(in, addr, t)
+		c.recordHit(in, t)
 		c.prefetchFired = false
 		return accDone, 0
 	case cache.Miss:
@@ -275,11 +283,29 @@ func (c *CPU) plainAccess(in isa.Inst, addr uint64, t sim.Cycle) (accStatus, sim
 			}
 		}
 		return accDone, 0
-	case cache.Conflict, cache.Full:
+	case cache.Conflict:
 		c.park(parkConflict, t)
+		return accRetry, 0
+	case cache.Full:
+		c.park(parkConflict, t)
+		c.parkCause = metrics.CauseMSHRFull
 		return accRetry, 0
 	}
 	panic("cpu: unknown cache outcome")
+}
+
+// recordHit reports a shared-access hit's latency: loads and
+// test-and-sets deliver their value after the load delay, stores
+// perform in one cycle.
+func (c *CPU) recordHit(in isa.Inst, t sim.Cycle) {
+	switch in.Op {
+	case isa.LD, isa.LDX:
+		c.mc.Ref(metrics.RefReadHit, t, t+c.loadDelay)
+	case isa.ST:
+		c.mc.Ref(metrics.RefWriteHit, t, t+1)
+	case isa.TAS:
+		c.mc.Ref(metrics.RefWriteHit, t, t+c.loadDelay)
+	}
 }
 
 // performHit executes the functional side of a shared-access hit.
@@ -302,6 +328,7 @@ func (c *CPU) performHit(in isa.Inst, addr uint64, t sim.Cycle) {
 func (c *CPU) syncAccess(in isa.Inst, addr uint64, t sim.Cycle) (accStatus, sim.Cycle) {
 	kind, _ := c.cacheKind(in.Op)
 	seq := c.missSeq + 1
+	issue := t
 	comp := &completion{}
 	req := cache.Request{Kind: kind, Addr: addr}
 	switch in.Op {
@@ -310,6 +337,7 @@ func (c *CPU) syncAccess(in isa.Inst, addr uint64, t sim.Cycle) (accStatus, sim.
 		req.OnBind = func() {
 			v := c.mem.ReadWord(addr)
 			c.setReg(rd, v, c.eng.Now())
+			c.mc.Ref(metrics.RefSync, issue, c.eng.Now())
 			comp.done = true
 			c.reconsider()
 		}
@@ -317,6 +345,7 @@ func (c *CPU) syncAccess(in isa.Inst, addr uint64, t sim.Cycle) (accStatus, sim.
 		v := c.regs[in.Rs2]
 		req.OnBind = func() {
 			c.mem.WriteWord(addr, v)
+			c.mc.Ref(metrics.RefSync, issue, c.eng.Now())
 			comp.done = true
 			c.reconsider()
 		}
@@ -326,6 +355,7 @@ func (c *CPU) syncAccess(in isa.Inst, addr uint64, t sim.Cycle) (accStatus, sim.
 			old := c.mem.ReadWord(addr)
 			c.mem.WriteWord(addr, 1)
 			c.setReg(rd, old, c.eng.Now())
+			c.mc.Ref(metrics.RefSync, issue, c.eng.Now())
 			comp.done = true
 			c.reconsider()
 		}
@@ -338,8 +368,10 @@ func (c *CPU) syncAccess(in isa.Inst, addr uint64, t sim.Cycle) (accStatus, sim.
 		c.stats.SyncOps++
 		if in.Op.IsLoad() {
 			// The processor holds until the value is delivered.
+			c.mc.Ref(metrics.RefSync, t, t+c.loadDelay)
 			return accDone, c.loadDelay
 		}
+		c.mc.Ref(metrics.RefSync, t, t+1)
 		return accDone, 0
 	case cache.Miss:
 		c.missSeq = seq
@@ -353,8 +385,12 @@ func (c *CPU) syncAccess(in isa.Inst, addr uint64, t sim.Cycle) (accStatus, sim.
 		c.awaitWhy = parkSync
 		c.park(parkSync, t)
 		return accWait, 0
-	case cache.Conflict, cache.Full:
+	case cache.Conflict:
 		c.park(parkConflict, t)
+		return accRetry, 0
+	case cache.Full:
+		c.park(parkConflict, t)
+		c.parkCause = metrics.CauseMSHRFull
 		return accRetry, 0
 	}
 	panic("cpu: unknown cache outcome")
@@ -376,6 +412,7 @@ func (c *CPU) releaseAccess(in isa.Inst, addr uint64, t sim.Cycle) (accStatus, s
 		addr:      addr,
 		value:     c.regs[in.Rs2],
 		waitCount: c.outstanding,
+		issuedAt:  t,
 	}
 	c.releaseBarrier = c.missSeq
 	if c.release.waitCount == 0 {
@@ -434,6 +471,9 @@ func (c *CPU) tryIssueRelease() {
 
 // completeRelease finishes the background release.
 func (c *CPU) completeRelease() {
+	if rel := c.release; rel != nil {
+		c.mc.Ref(metrics.RefSync, rel.issuedAt, c.eng.Now())
+	}
 	c.stats.Releases++
 	c.release = nil
 }

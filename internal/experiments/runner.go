@@ -3,9 +3,11 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"memsim/internal/consistency"
 	"memsim/internal/machine"
+	"memsim/internal/metrics"
 	"memsim/internal/workloads"
 )
 
@@ -38,17 +40,42 @@ type RunSpec struct {
 
 // Runner executes simulations for a parameter preset, memoizing
 // results so baselines shared between figures run once.
+//
+// A Runner is safe for concurrent use: memoization is single-flight
+// (concurrent Run calls for the same spec execute it once and share
+// the result) and Log lines are written atomically.
 type Runner struct {
 	Params Params
 	// Log, when non-nil, receives one line per fresh simulation run.
 	Log io.Writer
+	// MetricsSink, when non-nil, makes every fresh run carry a metrics
+	// collector; the sink receives it together with the run's result.
+	// Memoized recalls do not re-invoke the sink.
+	MetricsSink func(desc string, res machine.Result, mc *metrics.Collector)
 
-	cache map[RunSpec]machine.Result
+	mu       sync.Mutex
+	cache    map[RunSpec]machine.Result
+	inflight map[RunSpec]chan struct{}
+	logMu    sync.Mutex
 }
 
 // NewRunner builds a Runner for the preset.
 func NewRunner(p Params) *Runner {
-	return &Runner{Params: p, cache: make(map[RunSpec]machine.Result)}
+	return &Runner{
+		Params:   p,
+		cache:    make(map[RunSpec]machine.Result),
+		inflight: make(map[RunSpec]chan struct{}),
+	}
+}
+
+// logf writes one line to Log under the log mutex.
+func (r *Runner) logf(format string, args ...interface{}) {
+	if r.Log == nil {
+		return
+	}
+	r.logMu.Lock()
+	fmt.Fprintf(r.Log, format, args...)
+	r.logMu.Unlock()
 }
 
 // workload instantiates the benchmark for a spec.
@@ -93,9 +120,40 @@ func (r *Runner) Run(s RunSpec) (machine.Result, error) {
 	if s.Procs == p.Procs {
 		s.Procs = 0
 	}
-	if res, ok := r.cache[s]; ok {
-		return res, nil
+	for {
+		r.mu.Lock()
+		if res, ok := r.cache[s]; ok {
+			r.mu.Unlock()
+			return res, nil
+		}
+		done, busy := r.inflight[s]
+		if !busy {
+			done = make(chan struct{})
+			r.inflight[s] = done
+			r.mu.Unlock()
+			break
+		}
+		r.mu.Unlock()
+		// Another goroutine is running this spec: wait for it, then
+		// re-check the cache. Errors are not cached, so a failed flight
+		// lets the next waiter retry.
+		<-done
 	}
+	res, err := r.execute(s)
+	r.mu.Lock()
+	if err == nil {
+		r.cache[s] = res
+	}
+	done := r.inflight[s]
+	delete(r.inflight, s)
+	r.mu.Unlock()
+	close(done)
+	return res, err
+}
+
+// execute performs one fresh simulation run for a normalized spec.
+func (r *Runner) execute(s RunSpec) (machine.Result, error) {
+	p := r.Params
 	w := r.workload(s)
 	delay := s.LoadDelay
 	if delay == 0 {
@@ -114,6 +172,11 @@ func (r *Runner) Run(s RunSpec) (machine.Result, error) {
 	if err != nil {
 		return machine.Result{}, fmt.Errorf("experiments: %s: %w", describe(s), err)
 	}
+	var mc *metrics.Collector
+	if r.MetricsSink != nil {
+		mc = metrics.New()
+		m.AttachMetrics(mc)
+	}
 	if w.Setup != nil {
 		w.Setup(m.Shared())
 	}
@@ -126,11 +189,11 @@ func (r *Runner) Run(s RunSpec) (machine.Result, error) {
 			return machine.Result{}, fmt.Errorf("experiments: %s: %w", describe(s), err)
 		}
 	}
-	if r.Log != nil {
-		fmt.Fprintf(r.Log, "  ran %-40s %12d cycles  (hit %5.1f%%)\n",
-			describe(s), res.Cycles, 100*res.HitRate())
+	r.logf("  ran %-40s %12d cycles  (hit %5.1f%%)\n",
+		describe(s), res.Cycles, 100*res.HitRate())
+	if r.MetricsSink != nil {
+		r.MetricsSink(describe(s), res, mc)
 	}
-	r.cache[s] = res
 	return res, nil
 }
 

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"memsim/internal/consistency"
+	"memsim/internal/machine"
+	"memsim/internal/metrics"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for Runner.Log. The
+// Runner serializes Log writes itself; this guards the test's reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRunnerSingleFlight runs the same spec from many goroutines: all
+// calls must return the same result and the simulation must execute
+// exactly once (one Log line).
+func TestRunnerSingleFlight(t *testing.T) {
+	p := Quick()
+	r := NewRunner(p)
+	log := &syncBuffer{}
+	r.Log = log
+	spec := RunSpec{Bench: BGauss, Model: consistency.SC1,
+		CacheSize: p.SmallCache, LineSize: 16}
+
+	const goroutines = 8
+	results := make([]machine.Result, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = r.Run(spec)
+		}()
+	}
+	wg.Wait()
+
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if results[i].Cycles != results[0].Cycles {
+			t.Errorf("goroutine %d got %d cycles, goroutine 0 got %d",
+				i, results[i].Cycles, results[0].Cycles)
+		}
+	}
+	if lines := strings.Count(log.String(), "\n"); lines != 1 {
+		t.Errorf("%d fresh runs logged, want 1 (memoization must be single-flight):\n%s",
+			lines, log.String())
+	}
+}
+
+// TestRunnerConcurrentDistinctSpecs exercises the memo cache under
+// concurrent inserts of different specs, then re-reads them all.
+func TestRunnerConcurrentDistinctSpecs(t *testing.T) {
+	p := Quick()
+	r := NewRunner(p)
+	specs := []RunSpec{
+		{Bench: BGauss, Model: consistency.SC1, CacheSize: p.SmallCache, LineSize: 16},
+		{Bench: BGauss, Model: consistency.WO1, CacheSize: p.SmallCache, LineSize: 16},
+		{Bench: BGauss, Model: consistency.RC, CacheSize: p.SmallCache, LineSize: 16},
+	}
+	var wg sync.WaitGroup
+	first := make([]machine.Result, len(specs))
+	for i, s := range specs {
+		i, s := i, s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := r.Run(s)
+			if err != nil {
+				t.Errorf("%v: %v", s, err)
+				return
+			}
+			first[i] = res
+		}()
+	}
+	wg.Wait()
+	for i, s := range specs {
+		res, err := r.Run(s)
+		if err != nil {
+			t.Fatalf("recall %v: %v", s, err)
+		}
+		if res.Cycles != first[i].Cycles {
+			t.Errorf("recall %v: %d cycles, fresh run had %d", s, res.Cycles, first[i].Cycles)
+		}
+	}
+}
+
+// TestRunnerMetricsSink checks that fresh runs reach the sink with a
+// populated collector and memoized recalls do not re-invoke it.
+func TestRunnerMetricsSink(t *testing.T) {
+	p := Quick()
+	r := NewRunner(p)
+	var mu sync.Mutex
+	calls := 0
+	r.MetricsSink = func(desc string, res machine.Result, mc *metrics.Collector) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if desc == "" {
+			t.Error("empty description")
+		}
+		if mc.Report(uint64(res.Cycles)).Stalls.TotalStalled == 0 {
+			t.Error("sink collector recorded no stalls")
+		}
+	}
+	spec := RunSpec{Bench: BGauss, Model: consistency.WO1,
+		CacheSize: p.SmallCache, LineSize: 16}
+	if _, err := r.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("sink invoked %d times, want 1 (fresh run only)", calls)
+	}
+}

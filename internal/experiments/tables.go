@@ -36,6 +36,8 @@ type Table2Row struct {
 	// Table 9 (16-byte lines): mean cycles between references.
 	CyclesPerRead  map[int]float64 // keyed by cache size
 	CyclesPerWrite map[int]float64
+	// MWPI (16-byte lines): memory-wait cycles per instruction.
+	MWPI map[int]float64 // keyed by cache size
 }
 
 // RunTable2 gathers SC1 statistics across the cache/line grid.
@@ -50,6 +52,7 @@ func RunTable2(r *Runner) (*Table2, error) {
 			WriteHitPct:    map[CL]float64{},
 			CyclesPerRead:  map[int]float64{},
 			CyclesPerWrite: map[int]float64{},
+			MWPI:           map[int]float64{},
 		}
 		for _, cache := range []int{p.SmallCache, p.LargeCache} {
 			for _, line := range p.LineSizes {
@@ -67,6 +70,7 @@ func RunTable2(r *Runner) (*Table2, error) {
 					row.WritesK = float64(res.TotalWrites()) / procs / 1000
 					row.CyclesPerRead[cache] = float64(res.Cycles) / (float64(res.TotalReads()) / procs)
 					row.CyclesPerWrite[cache] = float64(res.Cycles) / (float64(res.TotalWrites()) / procs)
+					row.MWPI[cache] = res.MWPI()
 				}
 			}
 		}
@@ -122,13 +126,15 @@ func (t *Table2) String() string {
 		}
 		sb.WriteString("\n")
 	}
-	fmt.Fprintf(&sb, "\nTable 9: cycles between references (%dB lines)\n", referenceLine(p))
-	fmt.Fprintf(&sb, "%-7s %10s %10s %10s %10s\n", "Bench",
-		"rd(small)", "wr(small)", "rd(large)", "wr(large)")
+	fmt.Fprintf(&sb, "\nTable 9: cycles between references, MWPI (%dB lines)\n", referenceLine(p))
+	fmt.Fprintf(&sb, "%-7s %10s %10s %10s %10s %11s %11s\n", "Bench",
+		"rd(small)", "wr(small)", "rd(large)", "wr(large)",
+		"mwpi(small)", "mwpi(large)")
 	for _, row := range t.Rows {
-		fmt.Fprintf(&sb, "%-7s %10.1f %10.1f %10.1f %10.1f\n", row.Bench,
+		fmt.Fprintf(&sb, "%-7s %10.1f %10.1f %10.1f %10.1f %11.3f %11.3f\n", row.Bench,
 			row.CyclesPerRead[p.SmallCache], row.CyclesPerWrite[p.SmallCache],
-			row.CyclesPerRead[p.LargeCache], row.CyclesPerWrite[p.LargeCache])
+			row.CyclesPerRead[p.LargeCache], row.CyclesPerWrite[p.LargeCache],
+			row.MWPI[p.SmallCache], row.MWPI[p.LargeCache])
 	}
 	return sb.String()
 }

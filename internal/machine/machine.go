@@ -17,6 +17,7 @@ import (
 	"memsim/internal/cpu"
 	"memsim/internal/isa"
 	"memsim/internal/memory"
+	"memsim/internal/metrics"
 	"memsim/internal/network"
 	"memsim/internal/robust"
 	"memsim/internal/sim"
@@ -272,6 +273,40 @@ func New(cfg Config, progs [][]isa.Inst) (*Machine, error) {
 // AttachTracer installs an event recorder; call before Run. A nil
 // machine tracer (the default) records nothing at zero cost.
 func (m *Machine) AttachTracer(r *trace.Recorder) { m.tracer = r }
+
+// AttachMetrics wires a cycle-attribution collector into every
+// component; call before Run. A nil collector is a no-op. Collection
+// is strictly observational: it schedules no engine events and leaves
+// every Result field bit-identical to an uninstrumented run.
+func (m *Machine) AttachMetrics(mc *metrics.Collector) {
+	if mc == nil {
+		return
+	}
+	mc.EnsureProcs(m.cfg.Procs)
+	for i := 0; i < m.cfg.Procs; i++ {
+		m.cpus[i].SetMetrics(mc)
+		m.caches[i].SetMetrics(mc)
+		m.modules[i].SetMetrics(mc)
+	}
+	m.reqNet.SetMetrics(mc, metrics.NetReq)
+	m.respNet.SetMetrics(mc, metrics.NetResp)
+	mc.SetSampler(func() metrics.Sample {
+		s := metrics.Sample{
+			ModuleBusy: make([]uint64, m.cfg.Procs),
+			CacheMSHR:  make([]int, m.cfg.Procs),
+		}
+		for i := 0; i < m.cfg.Procs; i++ {
+			s.ModuleBusy[i] = m.modules[i].Stats().BusyCycles
+			s.CacheMSHR[i] = m.caches[i].Outstanding()
+		}
+		req, resp := m.reqNet.Stats(), m.respNet.Stats()
+		s.NetFlits[metrics.NetReq] = req.Flits
+		s.NetFlits[metrics.NetResp] = resp.Flits
+		s.NetMsgs[metrics.NetReq] = req.Messages
+		s.NetMsgs[metrics.NetResp] = resp.Messages
+		return s
+	})
+}
 
 // ReadWord implements cpu.MemImage over the flat shared image.
 func (m *Machine) ReadWord(addr uint64) uint64 {

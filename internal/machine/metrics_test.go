@@ -1,0 +1,140 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"memsim/internal/consistency"
+	"memsim/internal/metrics"
+	"memsim/internal/workloads"
+)
+
+// runGauss executes a small Gauss workload, optionally instrumented.
+func runGauss(t *testing.T, model consistency.Model, mc *metrics.Collector) Result {
+	t.Helper()
+	w := workloads.Gauss(8, 32, 7)
+	cfg := Config{
+		Procs: 8, Model: model, CacheSize: 16 << 10, LineSize: 16,
+		SharedWords: w.SharedWords,
+	}
+	m, err := New(cfg, w.Programs)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m.AttachMetrics(mc)
+	if w.Setup != nil {
+		w.Setup(m.Shared())
+	}
+	res, err := m.Run(0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := w.Validate(m.Shared()); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return res
+}
+
+// TestCollectorsAreTimingNeutral pins the observability contract:
+// attaching a metrics collector must leave every Result field —
+// cycles, per-cache counters, network stats, even the engine event
+// count — bit-identical to an uninstrumented run, for every model.
+func TestCollectorsAreTimingNeutral(t *testing.T) {
+	models := []consistency.Model{
+		consistency.SC1, consistency.SC2, consistency.WO1,
+		consistency.WO2, consistency.RC,
+	}
+	for _, model := range models {
+		t.Run(model.String(), func(t *testing.T) {
+			bare := runGauss(t, model, nil)
+			instrumented := runGauss(t, model, metrics.New())
+			if !reflect.DeepEqual(bare, instrumented) {
+				t.Errorf("collector changed the result:\nbare:         %+v\ninstrumented: %+v",
+					bare, instrumented)
+			}
+		})
+	}
+}
+
+// TestStallBreakdownSumsToCPUStalls pins the attribution invariant:
+// the collector's total stalled cycles equal the sum of every
+// cpu.Stats stall counter, so the breakdown partitions — rather than
+// estimates — the processors' lost cycles.
+func TestStallBreakdownSumsToCPUStalls(t *testing.T) {
+	for _, model := range []consistency.Model{consistency.SC1, consistency.WO1} {
+		t.Run(model.String(), func(t *testing.T) {
+			mc := metrics.New()
+			res := runGauss(t, model, mc)
+			var want uint64
+			for _, c := range res.CPUs {
+				want += c.StallInterlock + c.StallLoadWait + c.StallOutstanding +
+					c.StallConflict + c.StallDrain + c.StallSync +
+					c.StallBlocking + c.StallRelease
+			}
+			rep := mc.Report(uint64(res.Cycles))
+			if rep.Stalls.TotalStalled != want {
+				t.Errorf("collector stalled %d cycles, cpu stats say %d",
+					rep.Stalls.TotalStalled, want)
+			}
+			var perCause uint64
+			for _, v := range rep.Stalls.Total {
+				perCause += v
+			}
+			if perCause != rep.Stalls.TotalStalled {
+				t.Errorf("per-cause sum %d != total %d", perCause, rep.Stalls.TotalStalled)
+			}
+		})
+	}
+}
+
+// TestMWPI checks the memory-wait-per-instruction aggregate: positive
+// for a real workload and consistent with its defining counters.
+func TestMWPI(t *testing.T) {
+	res := runGauss(t, consistency.SC1, nil)
+	if res.MWPI() <= 0 {
+		t.Fatalf("MWPI = %v, want > 0", res.MWPI())
+	}
+	want := float64(res.MemoryWaitCycles()) / float64(res.Instructions())
+	if res.MWPI() != want {
+		t.Errorf("MWPI = %v, want %v", res.MWPI(), want)
+	}
+	var interlock uint64
+	for _, c := range res.CPUs {
+		interlock += c.StallInterlock
+	}
+	if res.MemoryWaitCycles() == 0 || interlock == 0 {
+		t.Errorf("degenerate split: memory wait %d, interlock %d",
+			res.MemoryWaitCycles(), interlock)
+	}
+}
+
+// TestMetricsLatencyAndTimeline sanity-checks the collected content on
+// a real run: reference latencies recorded for hits and misses, epoch
+// samples present, and stall slices retained.
+func TestMetricsLatencyAndTimeline(t *testing.T) {
+	mc := metrics.New()
+	mc.SetEpoch(1024)
+	res := runGauss(t, consistency.WO1, mc)
+	rep := mc.Report(uint64(res.Cycles))
+
+	if got := rep.Latency[metrics.RefReadHit.String()].Count; got == 0 {
+		t.Error("no read-hit latencies recorded")
+	}
+	if got := rep.Latency[metrics.RefReadMiss.String()].Count; got == 0 {
+		t.Error("no read-miss latencies recorded")
+	}
+	// Every recorded read-miss latency must be at least the uncontended
+	// miss minimum (head latency through two networks plus memory).
+	if h := rep.Latency[metrics.RefReadMiss.String()]; h.Min < 10 {
+		t.Errorf("read-miss min latency %d implausibly low", h.Min)
+	}
+	if len(rep.Utilization) == 0 {
+		t.Error("no epoch samples recorded")
+	}
+	if rep.Timeline.Slices == 0 {
+		t.Error("no stall slices retained")
+	}
+	if rep.Procs != 8 {
+		t.Errorf("report procs = %d, want 8", rep.Procs)
+	}
+}

@@ -102,6 +102,29 @@ func (r Result) ModuleUtilizationSpread() float64 {
 	return float64(max) / float64(min)
 }
 
+// MemoryWaitCycles sums every processor cycle stalled on the memory
+// system: register waits on outstanding load misses, consistency-model
+// ordering waits, MSHR conflicts, sync drains/waits, blocking-load
+// misses, and pending-release waits. In-pipeline interlock slots
+// (load/branch delay) are architectural, not memory-system, cost and
+// are excluded.
+func (r Result) MemoryWaitCycles() uint64 {
+	var n uint64
+	for _, c := range r.CPUs {
+		n += c.StallLoadWait + c.StallOutstanding + c.StallConflict +
+			c.StallDrain + c.StallSync + c.StallBlocking + c.StallRelease
+	}
+	return n
+}
+
+// MWPI is memory-wait cycles per instruction, the per-model cost
+// figure the paper's stall discussion (§4) reasons about: how much of
+// each instruction's cost the memory system adds under a given
+// consistency model.
+func (r Result) MWPI() float64 {
+	return ratio(r.MemoryWaitCycles(), r.Instructions())
+}
+
 // GainOver returns the relative performance gain of this result over a
 // baseline run of the same workload: positive when this run is faster.
 // This is the paper's Figures 4-8 y-axis: (base - this) / base.

@@ -1,6 +1,7 @@
 package memory
 
 import (
+	"memsim/internal/metrics"
 	"memsim/internal/robust"
 	"memsim/internal/sim"
 )
@@ -93,6 +94,7 @@ type Module struct {
 
 	stats     Stats
 	busySince sim.Cycle
+	mc        *metrics.Collector // nil: no metrics collection
 }
 
 type queued struct {
@@ -124,6 +126,11 @@ func NewModule(eng *sim.Engine, id, lineSize int, send func(dst int, m Msg) bool
 // Stats returns a copy of the activity counters.
 func (m *Module) Stats() Stats { return m.stats }
 
+// SetMetrics attaches a cycle-attribution collector (nil disables).
+// The module reports input-queue waits; collection never changes
+// timing.
+func (m *Module) SetMetrics(mc *metrics.Collector) { m.mc = mc }
+
 // fail raises a structured protocol error for this module. It does not
 // return: the raise unwinds to Machine.Run, which reports it with a
 // diagnostic dump.
@@ -152,7 +159,9 @@ func (m *Module) kick() {
 	}
 	q := m.inq[0]
 	m.inq = m.inq[1:]
-	m.stats.QueuedCycles += uint64(m.eng.Now() - q.at)
+	wait := uint64(m.eng.Now() - q.at)
+	m.stats.QueuedCycles += wait
+	m.mc.ModuleWait(m.eng.Now(), wait)
 	m.process(q.req)
 }
 

@@ -1,0 +1,245 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"testing"
+)
+
+func TestHistBucketEdges(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		lo, hi uint64
+	}{
+		{0, 0, 0},
+		{1, 1, 1},
+		{2, 2, 3},
+		{3, 2, 3},
+		{4, 4, 7},
+		{7, 4, 7},
+		{8, 8, 15},
+		{15, 8, 15},
+		{16, 16, 31},
+		{1 << 62, 1 << 62, 1<<63 - 1},
+		{^uint64(0), 1 << 63, ^uint64(0)},
+	}
+	for _, tc := range cases {
+		var h Hist
+		h.Add(tc.v)
+		r := h.Report()
+		if len(r.Buckets) != 1 {
+			t.Fatalf("Add(%d): %d buckets populated", tc.v, len(r.Buckets))
+		}
+		b := r.Buckets[0]
+		if b.Lo != tc.lo || b.Hi != tc.hi || b.Count != 1 {
+			t.Errorf("Add(%d): bucket [%d,%d] count %d, want [%d,%d] count 1",
+				tc.v, b.Lo, b.Hi, b.Count, tc.lo, tc.hi)
+		}
+		if tc.v < b.Lo || tc.v > b.Hi {
+			t.Errorf("Add(%d): value outside its bucket [%d,%d]", tc.v, b.Lo, b.Hi)
+		}
+	}
+}
+
+func TestHistStats(t *testing.T) {
+	var h Hist
+	for _, v := range []uint64{4, 18, 18, 100} {
+		h.Add(v)
+	}
+	if h.Count() != 4 || h.Sum() != 140 {
+		t.Errorf("count %d sum %d, want 4 and 140", h.Count(), h.Sum())
+	}
+	r := h.Report()
+	if r.Min != 4 || r.Max != 100 || r.Mean != 35 {
+		t.Errorf("min/max/mean = %d/%d/%v, want 4/100/35", r.Min, r.Max, r.Mean)
+	}
+	var total uint64
+	for _, b := range r.Buckets {
+		total += b.Count
+	}
+	if total != 4 {
+		t.Errorf("bucket counts sum to %d, want 4", total)
+	}
+}
+
+// TestNilCollector pins the nil-receiver contract: every hook and
+// accessor is a safe no-op on a nil *Collector.
+func TestNilCollector(t *testing.T) {
+	var c *Collector
+	c.SetEpoch(128)
+	c.SetMaxSlices(10)
+	c.EnsureProcs(4)
+	c.SetSampler(func() Sample { return Sample{} })
+	c.Stall(0, CauseLoadMiss, 10, 5)
+	c.Ref(RefReadMiss, 10, 30)
+	c.Fill(10, 30)
+	c.ModuleWait(10, 3)
+	c.NetWait(NetReq, 10, 2)
+	c.NetRetry(NetResp, 1, 10)
+	if c.Slices() != nil || c.Samples() != nil {
+		t.Error("nil collector returned data")
+	}
+	rep := c.Report(100)
+	if rep == nil || rep.Stalls.TotalStalled != 0 {
+		t.Errorf("nil collector report = %+v", rep)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil WriteChromeTrace: %v", err)
+	}
+	var tr struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("nil chrome trace invalid JSON: %v", err)
+	}
+}
+
+// TestEpochSampling checks that samples land exactly on epoch
+// boundaries, in order, including catch-up across skipped epochs.
+func TestEpochSampling(t *testing.T) {
+	c := New()
+	c.SetEpoch(64) // the minimum
+	calls := 0
+	c.SetSampler(func() Sample {
+		calls++
+		return Sample{ModuleBusy: []uint64{uint64(calls)}}
+	})
+	c.EnsureProcs(1)
+	c.Stall(0, CauseLoadMiss, 0, 10) // ends at 10: before the first boundary
+	if len(c.Samples()) != 0 {
+		t.Fatalf("sampled before first boundary: %d", len(c.Samples()))
+	}
+	c.Stall(0, CauseLoadMiss, 60, 10) // ends at 70: crosses 64
+	c.Ref(RefReadMiss, 250, 300)      // crosses 128, 192, 256
+	got := c.Samples()
+	want := []uint64{64, 128, 192, 256}
+	if len(got) != len(want) {
+		t.Fatalf("got %d samples, want %d", len(got), len(want))
+	}
+	for i, s := range got {
+		if s.At != want[i] {
+			t.Errorf("sample %d at %d, want %d", i, s.At, want[i])
+		}
+	}
+	if calls != len(want) {
+		t.Errorf("sampler called %d times, want %d", calls, len(want))
+	}
+}
+
+// TestSliceCap checks that the timeline cap drops slices without
+// losing breakdown cycles.
+func TestSliceCap(t *testing.T) {
+	c := New()
+	c.EnsureProcs(1)
+	c.SetMaxSlices(2)
+	for i := 0; i < 5; i++ {
+		c.Stall(0, CauseSyncDrain, uint64(i*10), 4)
+	}
+	if len(c.Slices()) != 2 {
+		t.Errorf("retained %d slices, want 2", len(c.Slices()))
+	}
+	rep := c.Report(100)
+	if rep.Timeline.Dropped != 3 {
+		t.Errorf("dropped = %d, want 3", rep.Timeline.Dropped)
+	}
+	if rep.Stalls.TotalStalled != 20 {
+		t.Errorf("total stalled = %d, want 20 (cap must not lose cycles)",
+			rep.Stalls.TotalStalled)
+	}
+}
+
+// fill populates a collector with a little of everything.
+func fillCollector() *Collector {
+	c := New()
+	c.EnsureProcs(2)
+	c.SetSampler(func() Sample {
+		return Sample{ModuleBusy: []uint64{10, 20}, CacheMSHR: []int{1, 0}}
+	})
+	c.Stall(0, CauseLoadMiss, 5, 20)
+	c.Stall(1, CauseSyncDrain, 30, 8)
+	c.Ref(RefReadHit, 0, 4)
+	c.Ref(RefReadMiss, 10, 40)
+	c.Ref(RefSync, 50, 90)
+	c.Fill(10, 38)
+	c.ModuleWait(20, 6)
+	c.NetWait(NetReq, 25, 2)
+	c.NetRetry(NetReq, 1, 26)
+	c.Stall(0, CauseMSHRFull, 5000, 10) // crosses the 4096 boundary
+	return c
+}
+
+func TestChromeTraceWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fillCollector().WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var slices, counters, meta int
+	for _, e := range tr.TraceEvents {
+		switch e.Ph {
+		case "X":
+			slices++
+		case "C":
+			counters++
+		case "M":
+			meta++
+		default:
+			t.Errorf("unexpected phase %q in event %q", e.Ph, e.Name)
+		}
+	}
+	if slices != 3 {
+		t.Errorf("%d stall slices, want 3", slices)
+	}
+	if counters == 0 || meta == 0 {
+		t.Errorf("counters=%d metadata=%d, want both > 0", counters, meta)
+	}
+}
+
+func TestReportJSONAndCSV(t *testing.T) {
+	rep := fillCollector().Report(6000)
+
+	var js bytes.Buffer
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var round Report
+	if err := json.Unmarshal(js.Bytes(), &round); err != nil {
+		t.Fatalf("JSON does not parse: %v", err)
+	}
+	if round.Stalls.TotalStalled != 38 {
+		t.Errorf("round-trip total stalled = %d, want 38", round.Stalls.TotalStalled)
+	}
+	if round.Latency["read-miss"].Count != 1 {
+		t.Errorf("round-trip read-miss count = %d, want 1", round.Latency["read-miss"].Count)
+	}
+
+	var cs bytes.Buffer
+	if err := rep.WriteCSV(&cs); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	rows, err := csv.NewReader(&cs).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV does not parse: %v", err)
+	}
+	if len(rows) < 2 || rows[0][0] != "record" {
+		t.Fatalf("unexpected CSV header/rows: %v", rows[:1])
+	}
+
+	var text bytes.Buffer
+	rep.WriteText(&text)
+	if !bytes.Contains(text.Bytes(), []byte("stall attribution")) ||
+		!bytes.Contains(text.Bytes(), []byte("load-miss")) {
+		t.Error("text report missing expected sections")
+	}
+}

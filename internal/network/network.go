@@ -26,6 +26,7 @@ package network
 import (
 	"fmt"
 
+	"memsim/internal/metrics"
 	"memsim/internal/robust"
 	"memsim/internal/sim"
 )
@@ -83,6 +84,8 @@ type Network struct {
 	inFlight int              // messages injected but not yet delivered
 
 	stats Stats
+	mc    *metrics.Collector // nil: no metrics collection
+	netid metrics.Net        // which network this is, for attribution
 }
 
 // New creates a network with the given endpoint count and entrance
@@ -132,6 +135,14 @@ func (n *Network) Stats() Stats { return n.stats }
 // times (see robust.Faults). Call before the run starts; a nil
 // injector disables injection.
 func (n *Network) SetFaults(inj *robust.Injector) { n.faults = inj }
+
+// SetMetrics attaches a cycle-attribution collector (nil disables).
+// The network reports per-message queue delays and entrance-buffer
+// back-pressure; collection never changes timing.
+func (n *Network) SetMetrics(mc *metrics.Collector, which metrics.Net) {
+	n.mc = mc
+	n.netid = which
+}
 
 // Occupancy is a point-in-time view of the network's buffers for
 // diagnostic dumps.
@@ -188,6 +199,7 @@ func (n *Network) TrySend(m Message) bool {
 	p := &n.entrance[m.Src]
 	if len(p.queue) >= n.bufCap {
 		n.stats.Retries++
+		n.mc.NetRetry(n.netid, m.Src, n.eng.Now())
 		return false
 	}
 	t := &transit{msg: m, hop: 0, queued: n.eng.Now()}
@@ -225,6 +237,7 @@ func (n *Network) kick(p *port, entranceSrc int) {
 	p.queue = p.queue[1:]
 	p.busy = true
 	n.stats.QueueDelay += uint64(n.eng.Now() - t.queued)
+	n.mc.NetWait(n.netid, n.eng.Now(), uint64(n.eng.Now()-t.queued))
 	flits := sim.Cycle(t.msg.Flits)
 
 	// Fault injection stretches this service: the head advances and

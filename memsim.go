@@ -3,6 +3,7 @@ package memsim
 import (
 	"memsim/internal/consistency"
 	"memsim/internal/machine"
+	"memsim/internal/metrics"
 	"memsim/internal/workloads"
 )
 
@@ -74,10 +75,26 @@ func PsimWorkload(procs, simPorts, refsPerPort int, seed int64) Workload {
 	return workloads.Psim(procs, simPorts, refsPerPort, seed)
 }
 
+// Metrics is the cycle-attribution collector: stall breakdowns,
+// latency histograms, and utilization timelines. Attach one with
+// RunWithMetrics; a nil collector observes nothing. Collection never
+// changes simulated timing or any Result field.
+type Metrics = metrics.Collector
+
+// NewMetrics builds an empty collector with default epoch and slice
+// capacity.
+func NewMetrics() *Metrics { return metrics.New() }
+
 // Run executes a workload on a machine built from cfg and returns the
 // measurements. cfg.Procs must match the workload's processor count
 // (0 adopts it); cfg.SharedWords is sized automatically when zero.
 func Run(cfg Config, w Workload) (Result, error) {
+	return RunWithMetrics(cfg, w, nil)
+}
+
+// RunWithMetrics is Run with a cycle-attribution collector attached
+// (nil behaves exactly like Run).
+func RunWithMetrics(cfg Config, w Workload, mc *Metrics) (Result, error) {
 	if cfg.Procs == 0 {
 		cfg.Procs = w.Procs
 	}
@@ -88,6 +105,7 @@ func Run(cfg Config, w Workload) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	m.AttachMetrics(mc)
 	if w.Setup != nil {
 		w.Setup(m.Shared())
 	}
