@@ -1,0 +1,150 @@
+// Golden-result determinism harness.
+//
+// TestGolden runs the paper's five system types (SC1, SC2, WO1, WO2,
+// RC) over all four benchmarks at the Quick preset and compares each
+// Result's SHA-256 checksum against testdata/golden/quick.json. The
+// corpus pins the simulator's complete measurement set bit-for-bit, so
+// any change to event ordering — an engine rewrite, a scheduling
+// tweak, a stray source of nondeterminism — fails loudly even when the
+// simulated program still validates.
+//
+// Regenerate the corpus after an intentional behavior change with:
+//
+//	go test -run TestGolden -update
+//
+// and justify the diff in the commit message.
+package memsim_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"memsim"
+	"memsim/internal/experiments"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden/quick.json from the current simulator")
+
+const goldenPath = "testdata/golden/quick.json"
+
+// goldenModels are the paper's five main system types (Table 1); the
+// blocking-load variants BSC1/BWO1 are covered by robustness tests.
+var goldenModels = []memsim.Model{memsim.SC1, memsim.SC2, memsim.WO1, memsim.WO2, memsim.RC}
+
+// goldenGrid enumerates the corpus: every model x benchmark x line
+// size at the Quick preset's large cache.
+func goldenGrid(p experiments.Params) []experiments.RunSpec {
+	var specs []experiments.RunSpec
+	for _, b := range experiments.Benches {
+		for _, m := range goldenModels {
+			for _, ls := range p.LineSizes {
+				specs = append(specs, experiments.RunSpec{
+					Bench: b, Model: m, CacheSize: p.LargeCache, LineSize: ls,
+				})
+			}
+		}
+	}
+	return specs
+}
+
+func goldenKey(s experiments.RunSpec) string {
+	return fmt.Sprintf("%s/%s/line%d", s.Bench, s.Model, s.LineSize)
+}
+
+// computeGolden runs the whole corpus (concurrently; the Runner
+// memoizes and is safe for parallel use) and returns key -> checksum.
+func computeGolden(t *testing.T) map[string]string {
+	t.Helper()
+	p := experiments.Quick()
+	r := experiments.NewRunner(p)
+	specs := goldenGrid(p)
+
+	var (
+		mu   sync.Mutex
+		got  = make(map[string]string, len(specs))
+		wg   sync.WaitGroup
+		errs []error
+	)
+	sem := make(chan struct{}, 8)
+	for _, s := range specs {
+		wg.Add(1)
+		go func(s experiments.RunSpec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := r.Run(s)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, fmt.Errorf("%s: %w", goldenKey(s), err))
+				return
+			}
+			got[goldenKey(s)] = res.Checksum()
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	return got
+}
+
+func TestGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden corpus runs the full Quick grid; skipped in -short mode")
+	}
+	got := computeGolden(t)
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden checksums to %s", len(got), goldenPath)
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden corpus (regenerate with -update): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parsing %s: %v", goldenPath, err)
+	}
+
+	keys := make([]string, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if got[k] == "" {
+			t.Errorf("%s: present in corpus but not produced by the grid", k)
+			continue
+		}
+		if got[k] != want[k] {
+			t.Errorf("%s: checksum drifted\n  want %s\n  got  %s", k, want[k], got[k])
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("%s: produced by the grid but missing from corpus (run with -update)", k)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package asm
+
+import (
+	"reflect"
+	"testing"
+
+	"memsim/internal/workloads"
+)
+
+// FuzzAssemble drives the assembler with arbitrary source text. Two
+// properties are enforced on every input:
+//
+//  1. Assemble never panics — malformed source must come back as an
+//     error, not a crash (the cmd/masm tool feeds it user files).
+//  2. Round-trip stability: any program that assembles must survive
+//     Disassemble → Assemble with an instruction-identical result.
+//     Disassemble emits re-assemblable syntax by contract, so a
+//     divergence indicts one side of the pair.
+//
+// The seed corpus is the real instruction mix: every workload
+// generator's program 0 (disassembled), plus hand-written snippets
+// covering labels, access classes, float immediates, and comments.
+func FuzzAssemble(f *testing.F) {
+	for _, w := range []workloads.Workload{
+		workloads.Gauss(4, 8, 1),
+		workloads.Qsort(4, 64, 1),
+		workloads.Relax(4, 8, 1, workloads.RelaxDefault, 1),
+		workloads.Psim(4, 8, 4, 1),
+	} {
+		f.Add(Disassemble(w.Programs[0]))
+	}
+	f.Add("start:\n    li r3, 0x100\n    ld r5, 16(r3) !acquire\n    st r5, 0(r3) !release\n    beq r5, r0, start\n    halt\n")
+	f.Add("    lif r4, 2.5\n    tas r6, 0(r3) !sync\n    fence !sync\n    jr r31\n    halt\n")
+	f.Add("a: b: c:\n    j a ; trailing comment\n# full-line comment\n    halt\n")
+	f.Add("    li r1, -9223372036854775808\n    li r2, 0xffffffffffffffff\n    halt\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src)
+		if err != nil {
+			return // rejected input: the property is just "no panic"
+		}
+		text := Disassemble(prog)
+		again, err := Assemble(text)
+		if err != nil {
+			t.Fatalf("disassembly does not re-assemble: %v\nsource:\n%s\ndisassembly:\n%s", err, src, text)
+		}
+		if !reflect.DeepEqual(prog, again) {
+			t.Fatalf("round trip changed the program\nsource:\n%s\nfirst:  %v\nsecond: %v", src, prog, again)
+		}
+	})
+}

@@ -7,8 +7,8 @@
 // The cache is a timing and coherence-state model only: it holds tags
 // and states, never data values. Functional values live in the
 // machine's flat shared-memory image and are bound by the processor
-// through the OnBind/OnRetire callbacks of a Request at the cycles the
-// access performs.
+// through the Bind/Retire callbacks of a Request's Binder at the
+// cycles the access performs.
 //
 // Protocol behavior implemented here:
 //
@@ -91,6 +91,42 @@ const (
 	Full
 )
 
+// Binder receives the two lifecycle callbacks of a miss. Bind fires
+// when the value is available: for loads, the cycle the first word
+// arrives; for writes and RMW, when the whole line is in and the
+// operation performs. Retire fires when the line is installed and the
+// MSHR freed: the access is globally performed, and Bind has always
+// already run.
+//
+// The interface (rather than a pair of func fields) lets the processor
+// hand the cache a pooled record with zero per-access allocations:
+// storing a pointer in an interface value does not allocate, while
+// constructing two capturing closures per access did.
+type Binder interface {
+	Bind()
+	Retire()
+}
+
+// FuncBinder adapts plain functions to Binder; either may be nil.
+// Tests and one-off callers use it — the simulator hot path passes
+// pooled records instead.
+type FuncBinder struct {
+	OnBind   func()
+	OnRetire func()
+}
+
+func (f *FuncBinder) Bind() {
+	if f.OnBind != nil {
+		f.OnBind()
+	}
+}
+
+func (f *FuncBinder) Retire() {
+	if f.OnRetire != nil {
+		f.OnRetire()
+	}
+}
+
 // Request is one processor access.
 type Request struct {
 	Kind Kind
@@ -98,13 +134,9 @@ type Request struct {
 	// Bypass marks the network request to enter at the head of the
 	// interface buffer (WO2 loads).
 	Bypass bool
-	// OnBind fires when the value is available: for loads, the cycle
-	// the first word arrives; for writes and RMW, when the whole line
-	// is in and the operation performs.
-	OnBind func()
-	// OnRetire fires when the line is installed and the MSHR freed:
-	// the access is globally performed.
-	OnRetire func()
+	// On receives the miss lifecycle callbacks; nil is allowed (the
+	// caller does not need to observe the fill, e.g. prefetches).
+	On Binder
 }
 
 // Stats holds per-cache counters. Reads/Writes count demand accesses
@@ -137,8 +169,26 @@ type mshr struct {
 	early    bool // bind at the first word even though excl (ReadOwn)
 	prefetch bool
 	issuedAt sim.Cycle // when the request was sent (metrics)
-	onBind   func()
-	onRetire func()
+	on       Binder
+
+	// Fill-in-progress state consumed by the prebuilt callbacks.
+	fillExcl bool
+	lateBind bool // Bind deferred to installation (exclusive fetches)
+
+	// bindFn and fillFn are built once per MSHR at construction and
+	// rescheduled for every fill, so receiveData allocates nothing.
+	bindFn func()
+	fillFn func()
+}
+
+// clear frees the MSHR, preserving its prebuilt callbacks.
+func (m *mshr) clear() {
+	m.valid = false
+	m.line = 0
+	m.excl, m.early, m.prefetch = false, false, false
+	m.issuedAt = 0
+	m.on = nil
+	m.fillExcl, m.lateBind = false, false
 }
 
 // Cache is one processor's shared-data cache.
@@ -159,6 +209,8 @@ type Cache struct {
 	send      func(msg memory.Msg, bypass bool) bool
 	whenSpace func(fn func())
 	outq      []outPkt
+	outHead   int    // index of the first unsent packet in outq
+	drainFn   func() // prebuilt retry callback for whenSpace
 
 	// invalidated remembers lines removed by coherence so the next
 	// demand miss on them counts as an invalidation miss.
@@ -205,6 +257,14 @@ func New(eng *sim.Engine, id int, cfg Config, send func(msg memory.Msg, bypass b
 	}
 	for i := range c.sets {
 		c.sets[i] = make([]line, cfg.Assoc)
+	}
+	c.drainFn = c.drainOut
+	// Each MSHR carries its fill callbacks prebuilt so data arrival
+	// schedules engine events without allocating.
+	for i := range c.mshr {
+		m := &c.mshr[i]
+		m.bindFn = func() { m.on.Bind() }
+		m.fillFn = func() { c.finishFill(m) }
 	}
 	return c
 }
@@ -373,15 +433,13 @@ func (c *Cache) missDemand(r Request, lineAddr uint64, excl bool) Outcome {
 		c.stats.InvalidationMisses++
 		delete(c.invalidated, lineAddr)
 	}
-	*m = mshr{
-		valid:    true,
-		line:     lineAddr,
-		excl:     excl,
-		early:    r.Kind == ReadOwn,
-		issuedAt: c.eng.Now(),
-		onBind:   r.OnBind,
-		onRetire: r.OnRetire,
-	}
+	m.clear()
+	m.valid = true
+	m.line = lineAddr
+	m.excl = excl
+	m.early = r.Kind == ReadOwn
+	m.issuedAt = c.eng.Now()
+	m.on = r.On
 	kind := memory.ReadReq
 	if excl {
 		kind = memory.WriteReq
@@ -407,7 +465,12 @@ func (c *Cache) prefetch(r Request, lineAddr uint64, ln *line) Outcome {
 	if m == nil {
 		return Full
 	}
-	*m = mshr{valid: true, line: lineAddr, excl: excl, prefetch: true, issuedAt: c.eng.Now()}
+	m.clear()
+	m.valid = true
+	m.line = lineAddr
+	m.excl = excl
+	m.prefetch = true
+	m.issuedAt = c.eng.Now()
 	c.stats.Prefetches++
 	kind := memory.ReadReq
 	if excl {
@@ -469,37 +532,44 @@ func (c *Cache) receiveData(msg memory.Msg) {
 	if m.excl && !excl {
 		c.fail(msg.Kind.String(), msg.Line, "ownership request granted shared")
 	}
-	bind := m.onBind
-	if bind != nil && (!m.excl || m.early) {
-		// Loads bind at the first word (including ownership-fetching
-		// loads: the value arrives before the ownership settles).
-		c.eng.After(1, bind)
-		bind = nil
+	m.fillExcl = excl
+	m.lateBind = false
+	if m.on != nil {
+		if !m.excl || m.early {
+			// Loads bind at the first word (including ownership-fetching
+			// loads: the value arrives before the ownership settles).
+			c.eng.After(1, m.bindFn)
+		} else {
+			m.lateBind = true
+		}
 	}
-	retireDelay := sim.Cycle(c.words)
-	c.eng.After(retireDelay, func() {
-		c.install(msg.Line, excl)
-		c.mc.Fill(m.issuedAt, c.eng.Now())
-		onRetire := m.onRetire
-		lateBind := bind
-		*m = mshr{}
-		// Writes and RMW perform once the whole line is in; mark the
-		// line dirty before anyone else can act on the retirement.
-		// (Prefetches never carry a bind callback, so they install
-		// clean.)
-		if lateBind != nil {
-			if ln := c.lookup(msg.Line); ln != nil {
-				ln.dirty = true
-			}
-			lateBind()
+	c.eng.After(sim.Cycle(c.words), m.fillFn)
+}
+
+// finishFill runs when a data message's tail has arrived: install the
+// line, free the MSHR, perform a deferred bind, and retire.
+func (c *Cache) finishFill(m *mshr) {
+	lineAddr := m.line
+	c.install(lineAddr, m.fillExcl)
+	c.mc.Fill(m.issuedAt, c.eng.Now())
+	on := m.on
+	lateBind := m.lateBind
+	m.clear()
+	// Writes and RMW perform once the whole line is in; mark the
+	// line dirty before anyone else can act on the retirement.
+	// (Prefetches never carry a binder, so they install clean.)
+	if lateBind {
+		if ln := c.lookup(lineAddr); ln != nil {
+			ln.dirty = true
 		}
-		if onRetire != nil {
-			onRetire()
-		}
-		if c.onRetireAny != nil {
-			c.onRetireAny()
-		}
-	})
+		on.Bind()
+	}
+	if on != nil {
+		on.Retire()
+	}
+	if c.onRetireAny != nil {
+		c.onRetireAny()
+	}
 }
 
 // install places a granted line, evicting a victim if needed.
@@ -541,21 +611,25 @@ type outPkt struct {
 }
 
 // enqueue hands a message to the request network, buffering internally
-// while the interface buffer is full.
+// while the interface buffer is full. The queue is drained from a head
+// index (rather than resliced) so the backing array is reused and a
+// steady-state send allocates nothing.
 func (c *Cache) enqueue(msg memory.Msg, bypass bool) {
 	c.outq = append(c.outq, outPkt{msg, bypass})
-	if len(c.outq) == 1 {
+	if len(c.outq)-c.outHead == 1 {
 		c.drainOut()
 	}
 }
 
 func (c *Cache) drainOut() {
-	for len(c.outq) > 0 {
-		o := c.outq[0]
+	for c.outHead < len(c.outq) {
+		o := c.outq[c.outHead]
 		if !c.send(o.msg, o.bypass) {
-			c.whenSpace(func() { c.drainOut() })
+			c.whenSpace(c.drainFn)
 			return
 		}
-		c.outq = c.outq[1:]
+		c.outHead++
 	}
+	c.outq = c.outq[:0]
+	c.outHead = 0
 }

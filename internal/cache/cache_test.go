@@ -73,7 +73,7 @@ func TestReadMissSendsReadReqThenHits(t *testing.T) {
 	r := newRig(smallCfg())
 	bound, retired := false, false
 	out := r.c.Access(Request{Kind: Read, Addr: 0x40,
-		OnBind: func() { bound = true }, OnRetire: func() { retired = true }})
+		On: &FuncBinder{OnBind: func() { bound = true }, OnRetire: func() { retired = true }}})
 	if out != Miss {
 		t.Fatalf("first read = %v, want Miss", out)
 	}
@@ -97,9 +97,9 @@ func TestReadMissSendsReadReqThenHits(t *testing.T) {
 func TestBindBeforeRetireTiming(t *testing.T) {
 	r := newRig(Config{Size: 1024, LineSize: 64, Assoc: 2, MSHRs: 5})
 	var bindAt, retireAt sim.Cycle
-	r.c.Access(Request{Kind: Read, Addr: 0,
+	r.c.Access(Request{Kind: Read, Addr: 0, On: &FuncBinder{
 		OnBind:   func() { bindAt = r.eng.Now() },
-		OnRetire: func() { retireAt = r.eng.Now() }})
+		OnRetire: func() { retireAt = r.eng.Now() }}})
 	r.eng.At(10, func() { r.grant(0, false) })
 	r.run(t)
 	if bindAt != 11 {

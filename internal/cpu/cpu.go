@@ -96,9 +96,6 @@ func (p parkReason) String() string {
 	return fmt.Sprintf("park(%d)", uint8(p))
 }
 
-// completion tracks an issued operation the processor must wait on.
-type completion struct{ done bool }
-
 // pendingRelease is RC's background release operation.
 type pendingRelease struct {
 	addr      uint64
@@ -144,12 +141,19 @@ type CPU struct {
 	parkCause metrics.StallCause
 	parkedAt  sim.Cycle
 
-	awaiting      *completion // issued sync/blocking op not yet complete
-	awaitWhy      parkReason  // stall reason while awaiting completes
-	prefetchFired bool        // one SC2 prefetch per stall episode
+	awaiting      *pendingOp // issued sync/blocking op not yet complete
+	awaitWhy      parkReason // stall reason while awaiting completes
+	prefetchFired bool       // one SC2 prefetch per stall episode
 
 	release        *pendingRelease
-	releaseBarrier uint64 // misses with seq <= barrier gate the release
+	relBuf         pendingRelease // backing storage: at most one release pends
+	releaseBarrier uint64         // misses with seq <= barrier gate the release
+
+	// opFree heads the pendingOp free list; runFn is the prebuilt run
+	// callback handed to the engine (a method value built once, so
+	// scheduling allocates nothing).
+	opFree *pendingOp
+	runFn  func()
 
 	onHalt func(id int)
 
@@ -193,6 +197,7 @@ func New(eng *sim.Engine, cfg Config) *CPU {
 		maxOut:      maxOut,
 		onHalt:      cfg.OnHalt,
 	}
+	c.runFn = c.run
 	c.cache.OnRetireAny(func() { c.reconsider() })
 	return c
 }
@@ -251,7 +256,7 @@ func (c *CPU) schedule(at sim.Cycle) {
 		return
 	}
 	c.scheduled = true
-	c.eng.At(at, c.run)
+	c.eng.At(at, c.runFn)
 }
 
 // reconsider wakes a parked processor so it can re-evaluate its stall;
@@ -387,7 +392,11 @@ func (c *CPU) run() {
 				c.park(c.awaitWhy, t)
 				return
 			}
+			po := c.awaiting
 			c.awaiting = nil
+			if po.retired {
+				c.freeOp(po)
+			}
 			c.pc++
 			t++
 			if t > c.eng.Now() {

@@ -10,6 +10,96 @@ import (
 	"memsim/internal/sim"
 )
 
+// pendingOp is one issued shared access in flight: the pooled record
+// the cache calls back through (it implements cache.Binder). These
+// records replace the old per-access OnBind/OnRetire closures; they
+// recycle through a per-CPU free list, so the steady-state reference
+// stream allocates nothing.
+type pendingOp struct {
+	c       *CPU
+	op      isa.Op
+	rd      isa.Reg
+	addr    uint64
+	value   uint64 // store value (ST)
+	seq     uint64 // miss sequence number (gates RC releases)
+	issue   sim.Cycle
+	refKind metrics.RefClass
+	sync    bool // sync-class: stores also set done and wake the CPU
+	rel     bool // RC background release
+	done    bool // value bound; consulted when the CPU awaits this op
+	retired bool // Retire ran while the CPU still awaited the op
+	next    *pendingOp
+}
+
+// allocOp takes a record from the free list (growing only when empty).
+func (c *CPU) allocOp() *pendingOp {
+	p := c.opFree
+	if p == nil {
+		p = &pendingOp{c: c}
+	} else {
+		c.opFree = p.next
+	}
+	return p
+}
+
+// freeOp recycles a consumed record.
+func (c *CPU) freeOp(p *pendingOp) {
+	*p = pendingOp{c: p.c, next: c.opFree}
+	c.opFree = p
+}
+
+// Bind performs the access's functional side when the value is
+// available — loads read and deliver, stores and test-and-sets update
+// the image — mirroring exactly what the old closures did per op and
+// class.
+func (p *pendingOp) Bind() {
+	c := p.c
+	if p.rel {
+		c.mem.WriteWord(p.addr, p.value)
+		return
+	}
+	switch p.op {
+	case isa.LD, isa.LDX:
+		v := c.mem.ReadWord(p.addr)
+		c.setReg(p.rd, v, c.eng.Now())
+		c.mc.Ref(p.refKind, p.issue, c.eng.Now())
+		p.done = true
+		c.reconsider()
+	case isa.ST:
+		c.mem.WriteWord(p.addr, p.value)
+		c.mc.Ref(p.refKind, p.issue, c.eng.Now())
+		if p.sync {
+			p.done = true
+			c.reconsider()
+		}
+	case isa.TAS:
+		old := c.mem.ReadWord(p.addr)
+		c.mem.WriteWord(p.addr, 1)
+		c.setReg(p.rd, old, c.eng.Now())
+		c.mc.Ref(p.refKind, p.issue, c.eng.Now())
+		p.done = true
+		c.reconsider()
+	}
+}
+
+// Retire accounts the miss retirement and recycles the record — unless
+// the CPU is still consulting it as its awaited completion, in which
+// case the CPU frees it when it resumes.
+func (p *pendingOp) Retire() {
+	c := p.c
+	if p.rel {
+		c.completeRelease()
+		c.freeOp(p)
+		return
+	}
+	c.retireMiss(p.seq)
+	if c.awaiting == p {
+		p.retired = true
+		return
+	}
+	c.freeOp(p)
+}
+
 // accStatus is the outcome of attempting a shared access.
 type accStatus uint8
 
@@ -224,59 +314,38 @@ func (c *CPU) plainAccess(in isa.Inst, addr uint64, t sim.Cycle) (accStatus, sim
 	}
 
 	kind, bypass := c.cacheKind(in.Op)
-	seq := c.missSeq + 1
-	issue := t
-	req := cache.Request{Kind: kind, Addr: addr, Bypass: bypass}
-	var comp *completion
+	po := c.allocOp()
+	po.op = in.Op
+	po.rd = in.Rd
+	po.addr = addr
+	po.seq = c.missSeq + 1
+	po.issue = t
 	switch in.Op {
 	case isa.LD, isa.LDX:
-		rd := in.Rd
-		req.OnBind = func() {
-			v := c.mem.ReadWord(addr)
-			c.setReg(rd, v, c.eng.Now())
-			c.mc.Ref(metrics.RefReadMiss, issue, c.eng.Now())
-			if comp != nil {
-				comp.done = true
-			}
-			c.reconsider()
-		}
+		po.refKind = metrics.RefReadMiss
 	case isa.ST:
-		v := c.regs[in.Rs2]
-		req.OnBind = func() {
-			c.mem.WriteWord(addr, v)
-			c.mc.Ref(metrics.RefWriteMiss, issue, c.eng.Now())
-		}
+		po.value = c.regs[in.Rs2]
+		po.refKind = metrics.RefWriteMiss
 	case isa.TAS:
-		rd := in.Rd
-		req.OnBind = func() {
-			old := c.mem.ReadWord(addr)
-			c.mem.WriteWord(addr, 1)
-			c.setReg(rd, old, c.eng.Now())
-			c.mc.Ref(metrics.RefWriteMiss, issue, c.eng.Now())
-			if comp != nil {
-				comp.done = true
-			}
-			c.reconsider()
-		}
+		po.refKind = metrics.RefWriteMiss
 	}
-	req.OnRetire = func() { c.retireMiss(seq) }
 
-	switch c.cache.Access(req) {
+	switch c.cache.Access(cache.Request{Kind: kind, Addr: addr, Bypass: bypass, On: po}) {
 	case cache.Hit:
+		c.freeOp(po)
 		c.performHit(in, addr, t)
 		c.recordHit(in, t)
 		c.prefetchFired = false
 		return accDone, 0
 	case cache.Miss:
-		c.missSeq = seq
+		c.missSeq = po.seq
 		c.outstanding++
 		c.prefetchFired = false
 		if in.Op.IsLoad() {
 			c.regPending[in.Rd] = true
 			c.regReady[in.Rd] = notReady
 			if c.spec.BlockingLoads {
-				comp = &completion{}
-				c.awaiting = comp
+				c.awaiting = po
 				c.awaitWhy = parkBlocking
 				c.park(parkBlocking, t)
 				return accWait, 0
@@ -284,9 +353,11 @@ func (c *CPU) plainAccess(in isa.Inst, addr uint64, t sim.Cycle) (accStatus, sim
 		}
 		return accDone, 0
 	case cache.Conflict:
+		c.freeOp(po)
 		c.park(parkConflict, t)
 		return accRetry, 0
 	case cache.Full:
+		c.freeOp(po)
 		c.park(parkConflict, t)
 		c.parkCause = metrics.CauseMSHRFull
 		return accRetry, 0
@@ -327,43 +398,21 @@ func (c *CPU) performHit(in isa.Inst, addr uint64, t sim.Cycle) {
 // must wait on (WO sync points after draining; RC acquires).
 func (c *CPU) syncAccess(in isa.Inst, addr uint64, t sim.Cycle) (accStatus, sim.Cycle) {
 	kind, _ := c.cacheKind(in.Op)
-	seq := c.missSeq + 1
-	issue := t
-	comp := &completion{}
-	req := cache.Request{Kind: kind, Addr: addr}
-	switch in.Op {
-	case isa.LD, isa.LDX:
-		rd := in.Rd
-		req.OnBind = func() {
-			v := c.mem.ReadWord(addr)
-			c.setReg(rd, v, c.eng.Now())
-			c.mc.Ref(metrics.RefSync, issue, c.eng.Now())
-			comp.done = true
-			c.reconsider()
-		}
-	case isa.ST:
-		v := c.regs[in.Rs2]
-		req.OnBind = func() {
-			c.mem.WriteWord(addr, v)
-			c.mc.Ref(metrics.RefSync, issue, c.eng.Now())
-			comp.done = true
-			c.reconsider()
-		}
-	case isa.TAS:
-		rd := in.Rd
-		req.OnBind = func() {
-			old := c.mem.ReadWord(addr)
-			c.mem.WriteWord(addr, 1)
-			c.setReg(rd, old, c.eng.Now())
-			c.mc.Ref(metrics.RefSync, issue, c.eng.Now())
-			comp.done = true
-			c.reconsider()
-		}
+	po := c.allocOp()
+	po.op = in.Op
+	po.rd = in.Rd
+	po.addr = addr
+	po.seq = c.missSeq + 1
+	po.issue = t
+	po.refKind = metrics.RefSync
+	po.sync = true
+	if in.Op == isa.ST {
+		po.value = c.regs[in.Rs2]
 	}
-	req.OnRetire = func() { c.retireMiss(seq) }
 
-	switch c.cache.Access(req) {
+	switch c.cache.Access(cache.Request{Kind: kind, Addr: addr, On: po}) {
 	case cache.Hit:
+		c.freeOp(po)
 		c.performHit(in, addr, t)
 		c.stats.SyncOps++
 		if in.Op.IsLoad() {
@@ -374,21 +423,23 @@ func (c *CPU) syncAccess(in isa.Inst, addr uint64, t sim.Cycle) (accStatus, sim.
 		c.mc.Ref(metrics.RefSync, t, t+1)
 		return accDone, 0
 	case cache.Miss:
-		c.missSeq = seq
+		c.missSeq = po.seq
 		c.outstanding++
 		c.stats.SyncOps++
 		if in.Op.IsLoad() {
 			c.regPending[in.Rd] = true
 			c.regReady[in.Rd] = notReady
 		}
-		c.awaiting = comp
+		c.awaiting = po
 		c.awaitWhy = parkSync
 		c.park(parkSync, t)
 		return accWait, 0
 	case cache.Conflict:
+		c.freeOp(po)
 		c.park(parkConflict, t)
 		return accRetry, 0
 	case cache.Full:
+		c.freeOp(po)
 		c.park(parkConflict, t)
 		c.parkCause = metrics.CauseMSHRFull
 		return accRetry, 0
@@ -408,12 +459,13 @@ func (c *CPU) releaseAccess(in isa.Inst, addr uint64, t sim.Cycle) (accStatus, s
 		return accRetry, 0
 	}
 	c.stats.SyncOps++
-	c.release = &pendingRelease{
+	c.relBuf = pendingRelease{
 		addr:      addr,
 		value:     c.regs[in.Rs2],
 		waitCount: c.outstanding,
 		issuedAt:  t,
 	}
+	c.release = &c.relBuf
 	c.releaseBarrier = c.missSeq
 	if c.release.waitCount == 0 {
 		c.tryIssueRelease()
@@ -450,22 +502,20 @@ func (c *CPU) tryIssueRelease() {
 	if rel == nil || rel.issued {
 		return
 	}
-	req := cache.Request{
-		Kind: cache.Write,
-		Addr: rel.addr,
-		OnBind: func() {
-			c.mem.WriteWord(rel.addr, rel.value)
-		},
-		OnRetire: func() { c.completeRelease() },
-	}
-	switch c.cache.Access(req) {
+	po := c.allocOp()
+	po.rel = true
+	po.addr = rel.addr
+	po.value = rel.value
+	switch c.cache.Access(cache.Request{Kind: cache.Write, Addr: rel.addr, On: po}) {
 	case cache.Hit:
+		c.freeOp(po)
 		c.mem.WriteWord(rel.addr, rel.value)
 		c.completeRelease()
 	case cache.Miss:
 		rel.issued = true
 	case cache.Conflict, cache.Full:
 		// Retried by releaseTick on the next retirement.
+		c.freeOp(po)
 	}
 }
 

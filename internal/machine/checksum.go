@@ -1,0 +1,28 @@
+package machine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Checksum returns a hex SHA-256 digest of the Result's canonical JSON
+// encoding. Two runs of the same configuration must produce the same
+// checksum on any platform: every field of Result is plain integer
+// data, and encoding/json serializes struct fields in declaration
+// order, so the digest is a stable fingerprint of the complete
+// measurement set (timing, per-unit stats, traffic counters).
+//
+// The golden-result harness (golden_test.go at the repository root)
+// pins these digests across engine rewrites.
+func (r Result) Checksum() string {
+	b, err := json.Marshal(r)
+	if err != nil {
+		// Result holds only integers and slices thereof; Marshal cannot
+		// fail unless the struct grows an unsupported type.
+		panic(fmt.Sprintf("machine: Result not JSON-encodable: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -149,6 +149,42 @@ type Machine struct {
 
 	halted int
 	tracer *trace.Recorder
+
+	words    int       // line size in 8-byte words (data-tail latency)
+	tailFree *tailRecv // free list of pooled data-tail delivery events
+}
+
+// tailRecv is a pooled one-shot event delivering a data-carrying
+// request to its module once the message tail has arrived. Each record
+// builds its callback exactly once, so the steady-state write-back /
+// update path schedules the tail delay without allocating.
+type tailRecv struct {
+	m    *Machine
+	dst  int
+	src  int
+	msg  memory.Msg
+	next *tailRecv
+	fn   func()
+}
+
+func (m *Machine) allocTail(dst, src int, msg memory.Msg) *tailRecv {
+	t := m.tailFree
+	if t == nil {
+		t = &tailRecv{m: m}
+		t.fn = t.run
+	} else {
+		m.tailFree = t.next
+	}
+	t.dst, t.src, t.msg, t.next = dst, src, msg, nil
+	return t
+}
+
+func (t *tailRecv) run() {
+	m, dst, src, msg := t.m, t.dst, t.src, t.msg
+	t.msg = memory.Msg{}
+	t.next = m.tailFree
+	m.tailFree = t
+	m.modules[dst].Receive(src, msg)
 }
 
 // New builds a machine running the given per-processor programs.
@@ -179,7 +215,7 @@ func New(cfg Config, progs [][]isa.Inst) (*Machine, error) {
 		spec:   consistency.SpecFor(cfg.Model),
 		shared: make([]uint64, cfg.SharedWords),
 	}
-	words := cfg.LineSize / 8
+	m.words = cfg.LineSize / 8
 	var faults *robust.Injector
 	if cfg.Faults.Enabled() {
 		faults = robust.NewInjector(cfg.Faults)
@@ -188,7 +224,7 @@ func New(cfg Config, progs [][]isa.Inst) (*Machine, error) {
 	// Response network: memory -> caches. Data messages bind/install
 	// inside the cache with its own head/tail scheduling.
 	m.respNet = network.New(&m.Eng, cfg.Procs, cfg.NetBuf, func(dst int, nm network.Message) {
-		msg := nm.Payload.(memory.Msg)
+		msg := nm.Payload
 		m.tracer.Record(trace.Event{Cycle: m.Eng.Now(), Kind: trace.RespRecv,
 			Src: nm.Src, Dst: dst, What: msg.Kind.String(), Addr: msg.Line})
 		m.caches[dst].Receive(msg)
@@ -197,12 +233,12 @@ func New(cfg Config, progs [][]isa.Inst) (*Machine, error) {
 	// Request network: caches -> memory. Data-carrying messages reach
 	// the module when their tail arrives.
 	m.reqNet = network.New(&m.Eng, cfg.Procs, cfg.NetBuf, func(dst int, nm network.Message) {
-		msg := nm.Payload.(memory.Msg)
+		msg := nm.Payload
 		src := nm.Src
 		m.tracer.Record(trace.Event{Cycle: m.Eng.Now(), Kind: trace.ReqRecv,
 			Src: src, Dst: dst, What: msg.Kind.String(), Addr: msg.Line})
 		if msg.Kind.CarriesData() {
-			m.Eng.After(sim.Cycle(words), func() { m.modules[dst].Receive(src, msg) })
+			m.Eng.After(sim.Cycle(m.words), m.allocTail(dst, src, msg).fn)
 		} else {
 			m.modules[dst].Receive(src, msg)
 		}

@@ -1,6 +1,8 @@
 package memory
 
 import (
+	"math/bits"
+
 	"memsim/internal/metrics"
 	"memsim/internal/robust"
 	"memsim/internal/sim"
@@ -71,6 +73,18 @@ type Stats struct {
 	QueuedCycles uint64 // total cycles requests waited in the input queue
 }
 
+// busyAction tells unbusy what to do when the current occupancy ends.
+// Encoding the post-busy work as data (rather than a captured closure)
+// keeps the steady-state directory pipeline allocation-free: the same
+// prebuilt unbusyFn is scheduled for every occupancy.
+type busyAction uint8
+
+const (
+	actNone    busyAction = iota
+	actSendOne            // send busyMsg to busyDst (recall messages)
+	actSendInv            // send Invalidate(busyMsg.Line) to every bit of busyTargets
+)
+
 // Module is one global memory module with its directory slice.
 //
 // The machine layer provides send: it must enqueue a response-network
@@ -85,12 +99,25 @@ type Module struct {
 	send      func(dst int, m Msg) bool
 	whenSpace func(fn func())
 
-	dir  map[uint64]*entry
-	inq  []queued
-	busy bool
+	dir     map[uint64]*entry
+	inq     []queued
+	inqHead int
+	busy    bool
 
-	// outq holds messages waiting for response-network buffer space.
-	outq []outMsg
+	// Post-occupancy action, consumed by unbusy (see busyAction).
+	busyAct     busyAction
+	busyDst     int
+	busyMsg     Msg
+	busyTargets uint64
+
+	// outq holds messages waiting for response-network buffer space,
+	// drained from outHead so steady-state sends never reslice.
+	outq    []outMsg
+	outHead int
+
+	unbusyFn func() // prebuilt m.unbusy, scheduled by every setBusy
+	drainFn  func() // prebuilt m.drainOut, registered with whenSpace
+	headFree *headEvt
 
 	stats     Stats
 	busySince sim.Cycle
@@ -103,16 +130,57 @@ type queued struct {
 }
 
 type outMsg struct {
+	dst int
+	msg Msg
+}
+
+// headEvt is a pooled one-shot event firing when the first word of a
+// line grant is ready to leave (lookup + initiation into a streaming
+// occupancy). A plain grant carries a nil entry; a transaction
+// completion additionally installs the entry's next stable state and
+// replays parked requests. Each record builds its callback once, so
+// the per-miss head event costs no allocation in steady state.
+type headEvt struct {
+	m    *Module
 	dst  int
 	msg  Msg
-	then func() // runs once the message is accepted by the network
+	e    *entry // non-nil: completing a busy transaction
+	next dirState
+	link *headEvt
+	fn   func()
+}
+
+func (m *Module) allocHead(dst int, msg Msg, e *entry, next dirState) *headEvt {
+	h := m.headFree
+	if h == nil {
+		h = &headEvt{m: m}
+		h.fn = h.run
+	} else {
+		m.headFree = h.link
+	}
+	h.dst, h.msg, h.e, h.next = dst, msg, e, next
+	return h
+}
+
+func (h *headEvt) run() {
+	m, dst, msg, e, next := h.m, h.dst, h.msg, h.e, h.next
+	h.e = nil
+	h.link = m.headFree
+	m.headFree = h
+	if e != nil {
+		e.state = next
+	}
+	m.enqueueOut(dst, msg)
+	if e != nil {
+		m.replayPending(e)
+	}
 }
 
 // NewModule creates module id. send injects into the response network
 // (returning false when its entrance buffer is full); whenSpace
 // registers a one-shot callback for when space frees.
 func NewModule(eng *sim.Engine, id, lineSize int, send func(dst int, m Msg) bool, whenSpace func(fn func())) *Module {
-	return &Module{
+	m := &Module{
 		eng:       eng,
 		id:        id,
 		lineSize:  lineSize,
@@ -121,6 +189,9 @@ func NewModule(eng *sim.Engine, id, lineSize int, send func(dst int, m Msg) bool
 		whenSpace: whenSpace,
 		dir:       make(map[uint64]*entry),
 	}
+	m.unbusyFn = m.unbusy
+	m.drainFn = m.drainOut
+	return m
 }
 
 // Stats returns a copy of the activity counters.
@@ -154,33 +225,54 @@ func (m *Module) Receive(src int, msg Msg) {
 
 // kick starts processing the next queued request if idle.
 func (m *Module) kick() {
-	if m.busy || len(m.inq) == 0 {
+	if m.busy || m.inqHead == len(m.inq) {
 		return
 	}
-	q := m.inq[0]
-	m.inq = m.inq[1:]
+	q := m.inq[m.inqHead]
+	m.inqHead++
+	if m.inqHead == len(m.inq) {
+		m.inq = m.inq[:0]
+		m.inqHead = 0
+	}
 	wait := uint64(m.eng.Now() - q.at)
 	m.stats.QueuedCycles += wait
 	m.mc.ModuleWait(m.eng.Now(), wait)
 	m.process(q.req)
 }
 
-// setBusy occupies the module for d cycles and then runs fn.
-func (m *Module) setBusy(d sim.Cycle, fn func()) {
+// setBusy occupies the module for d cycles; when the occupancy ends,
+// unbusy performs act (using the busyDst/busyMsg/busyTargets fields the
+// caller set beforehand) and kicks the input queue.
+func (m *Module) setBusy(d sim.Cycle, act busyAction) {
 	if m.busy {
 		robust.Raise(&robust.SimError{Kind: robust.Protocol, Component: "memory", Unit: m.id,
 			Cycle: m.eng.Now(), Detail: "module occupied while already busy"})
 	}
 	m.busy = true
 	m.busySince = m.eng.Now()
-	m.eng.After(d, func() {
-		m.busy = false
-		m.stats.BusyCycles += uint64(m.eng.Now() - m.busySince)
-		if fn != nil {
-			fn()
+	m.busyAct = act
+	m.eng.After(d, m.unbusyFn)
+}
+
+// unbusy ends the current occupancy, performs the deferred action, and
+// resumes input processing.
+func (m *Module) unbusy() {
+	m.busy = false
+	m.stats.BusyCycles += uint64(m.eng.Now() - m.busySince)
+	act := m.busyAct
+	m.busyAct = actNone
+	switch act {
+	case actSendOne:
+		m.enqueueOut(m.busyDst, m.busyMsg)
+	case actSendInv:
+		msg := m.busyMsg
+		for t, rest := 0, m.busyTargets; rest != 0; t, rest = t+1, rest>>1 {
+			if rest&1 != 0 {
+				m.enqueueOut(t, msg)
+			}
 		}
-		m.kick()
-	})
+	}
+	m.kick()
 }
 
 // entryFor returns (creating if needed) the directory entry.
@@ -237,9 +329,9 @@ func (m *Module) processRead(r request, e *entry) {
 		e.grant = DataShared
 		e.nextState = sharedSt
 		e.sharers = (1 << uint(owner)) | (1 << uint(r.src))
-		m.setBusy(LookupCycles, func() {
-			m.enqueueOut(owner, Msg{RecallShare, line}, nil)
-		})
+		m.busyDst = owner
+		m.busyMsg = Msg{RecallShare, line}
+		m.setBusy(LookupCycles, actSendOne)
 	default:
 		m.fail(r.msg.Kind.String(), line, "read dequeued against a busy directory entry")
 	}
@@ -268,21 +360,14 @@ func (m *Module) processWrite(r request, e *entry) {
 		e.requester = r.src
 		e.grant = DataExclusive
 		e.nextState = dirtySt
-		var targets []int
-		for i := 0; i < 64; i++ {
-			if others&(1<<uint(i)) != 0 {
-				targets = append(targets, i)
-			}
-		}
-		e.acksLeft = len(targets)
+		n := bits.OnesCount64(others)
+		e.acksLeft = n
 		e.sharers = 0
 		e.owner = r.src
-		m.stats.Invalidates += uint64(len(targets))
-		m.setBusy(LookupCycles, func() {
-			for _, t := range targets {
-				m.enqueueOut(t, Msg{Invalidate, line}, nil)
-			}
-		})
+		m.stats.Invalidates += uint64(n)
+		m.busyMsg = Msg{Invalidate, line}
+		m.busyTargets = others
+		m.setBusy(LookupCycles, actSendInv)
 	case dirtySt:
 		m.stats.Recalls++
 		owner := e.owner
@@ -293,9 +378,9 @@ func (m *Module) processWrite(r request, e *entry) {
 		e.nextState = dirtySt
 		e.owner = r.src
 		e.sharers = 0
-		m.setBusy(LookupCycles, func() {
-			m.enqueueOut(owner, Msg{RecallInv, line}, nil)
-		})
+		m.busyDst = owner
+		m.busyMsg = Msg{RecallInv, line}
+		m.setBusy(LookupCycles, actSendOne)
 	default:
 		m.fail(r.msg.Kind.String(), line, "write dequeued against a busy directory entry")
 	}
@@ -314,7 +399,7 @@ func (m *Module) processWriteBack(r request, e *entry) {
 		e.state = uncached
 		e.owner = 0
 		e.sharers = 0
-		m.setBusy(sim.Cycle(LookupCycles+InitiateCycles+m.words), nil)
+		m.setBusy(sim.Cycle(LookupCycles+InitiateCycles+m.words), actNone)
 	case busySt:
 		// Race: the directory recalled the line while this write-back
 		// was in flight. Count the RAM write time but leave the
@@ -322,7 +407,7 @@ func (m *Module) processWriteBack(r request, e *entry) {
 		if e.tx != txAwaitFlush {
 			m.fail(r.msg.Kind.String(), r.msg.Line, "write-back from cache %d during an invalidation transaction", r.src)
 		}
-		m.setBusy(sim.Cycle(LookupCycles+InitiateCycles+m.words), nil)
+		m.setBusy(sim.Cycle(LookupCycles+InitiateCycles+m.words), actNone)
 	default:
 		m.fail(r.msg.Kind.String(), r.msg.Line, "write-back from cache %d in directory state %d", r.src, e.state)
 	}
@@ -332,10 +417,8 @@ func (m *Module) processWriteBack(r request, e *entry) {
 // grant: lookup + initiation, first word on the network, then one busy
 // cycle per word while the line streams.
 func (m *Module) serveData(dst int, msg Msg) {
-	m.setBusy(sim.Cycle(LookupCycles+InitiateCycles+m.words), nil)
-	m.eng.After(LookupCycles+InitiateCycles, func() {
-		m.enqueueOut(dst, msg, nil)
-	})
+	m.setBusy(sim.Cycle(LookupCycles+InitiateCycles+m.words), actNone)
+	m.eng.After(LookupCycles+InitiateCycles, m.allocHead(dst, msg, nil, uncached).fn)
 }
 
 // completion handles FlushInv/FlushShare/InvAck for a busy entry.
@@ -355,7 +438,7 @@ func (m *Module) completion(src int, msg Msg) {
 		case txAwaitAck:
 			e.acksLeft--
 			if e.acksLeft > 0 {
-				m.whenIdle(AckCycles, nil)
+				m.whenIdle(AckCycles)
 				return
 			}
 			m.finishTx(e, msg.Line)
@@ -375,17 +458,11 @@ func (m *Module) completion(src int, msg Msg) {
 // leaves after lookup+initiation while the module stays busy streaming
 // the rest; parked requests replay once the line leaves Busy.
 func (m *Module) finishTx(e *entry, line uint64) {
-	grant := e.grant
-	req := e.requester
-	next := e.nextState
+	h := m.allocHead(e.requester, Msg{e.grant, line}, e, e.nextState)
 	e.tx = txNone
 	total := sim.Cycle(LookupCycles + InitiateCycles + m.words)
 	head := sim.Cycle(LookupCycles + InitiateCycles)
-	m.occupyWhenIdle(total, head, func() {
-		e.state = next
-		m.enqueueOut(req, Msg{grant, line}, nil)
-		m.replayPending(e)
-	})
+	m.occupyWhenIdle(total, head, h)
 }
 
 // replayPending re-injects requests parked behind a busy entry.
@@ -396,56 +473,57 @@ func (m *Module) replayPending(e *entry) {
 	p := e.pending
 	e.pending = nil
 	// Re-queue at the front in arrival order.
-	old := m.inq
-	m.inq = nil
+	old := m.inq[m.inqHead:]
+	nq := make([]queued, 0, len(p)+len(old))
 	for _, r := range p {
-		m.inq = append(m.inq, queued{r, m.eng.Now()})
+		nq = append(nq, queued{r, m.eng.Now()})
 	}
-	m.inq = append(m.inq, old...)
+	nq = append(nq, old...)
+	m.inq = nq
+	m.inqHead = 0
 	m.kick()
 }
 
 // whenIdle occupies the module for d cycles as soon as it is free (it
-// may be busy finishing a previous occupancy), then runs fn.
-func (m *Module) whenIdle(d sim.Cycle, fn func()) {
+// may be busy finishing a previous occupancy).
+func (m *Module) whenIdle(d sim.Cycle) {
 	if !m.busy {
-		m.setBusy(d, fn)
+		m.setBusy(d, actNone)
 		return
 	}
-	m.eng.After(1, func() { m.whenIdle(d, fn) })
+	m.eng.After(1, func() { m.whenIdle(d) })
 }
 
 // occupyWhenIdle occupies the module for total cycles as soon as it is
-// free and runs atHead after the first head cycles of that occupancy
-// (when the first word of a line is ready to leave).
-func (m *Module) occupyWhenIdle(total, head sim.Cycle, atHead func()) {
+// free and fires the head event after the first head cycles of that
+// occupancy (when the first word of a line is ready to leave).
+func (m *Module) occupyWhenIdle(total, head sim.Cycle, h *headEvt) {
 	if !m.busy {
-		m.setBusy(total, nil)
-		m.eng.After(head, atHead)
+		m.setBusy(total, actNone)
+		m.eng.After(head, h.fn)
 		return
 	}
-	m.eng.After(1, func() { m.occupyWhenIdle(total, head, atHead) })
+	m.eng.After(1, func() { m.occupyWhenIdle(total, head, h) })
 }
 
 // enqueueOut hands a message to the response network, retrying when
-// the entrance buffer is full. then (optional) runs on acceptance.
-func (m *Module) enqueueOut(dst int, msg Msg, then func()) {
-	m.outq = append(m.outq, outMsg{dst, msg, then})
-	if len(m.outq) == 1 {
+// the entrance buffer is full.
+func (m *Module) enqueueOut(dst int, msg Msg) {
+	m.outq = append(m.outq, outMsg{dst, msg})
+	if len(m.outq)-m.outHead == 1 {
 		m.drainOut()
 	}
 }
 
 func (m *Module) drainOut() {
-	for len(m.outq) > 0 {
-		o := m.outq[0]
+	for m.outHead < len(m.outq) {
+		o := m.outq[m.outHead]
 		if !m.send(o.dst, o.msg) {
-			m.whenSpace(func() { m.drainOut() })
+			m.whenSpace(m.drainFn)
 			return
 		}
-		m.outq = m.outq[1:]
-		if o.then != nil {
-			o.then()
-		}
+		m.outHead++
 	}
+	m.outq = m.outq[:0]
+	m.outHead = 0
 }

@@ -138,9 +138,9 @@ type Collector struct {
 
 	stalls     [][NumCauses]uint64
 	refs       [NumClasses]Hist
-	fill       Hist // cache line-fill latency, request sent -> line installed
-	modWait    Hist // memory-module input-queue wait
-	netWait    [numNets]Hist // network queue delay per serviced message
+	fill       Hist              // cache line-fill latency, request sent -> line installed
+	modWait    Hist              // memory-module input-queue wait
+	netWait    [numNets]Hist     // network queue delay per serviced message
 	netRetries [numNets][]uint64 // per-source entrance-buffer rejections
 
 	slices  []Slice

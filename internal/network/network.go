@@ -26,18 +26,23 @@ package network
 import (
 	"fmt"
 
+	"memsim/internal/memory"
 	"memsim/internal/metrics"
 	"memsim/internal/robust"
 	"memsim/internal/sim"
 )
 
-// Message is one packet traversing the network. Payload is opaque to
-// the network; the machine layer wires typed payloads to receivers.
+// Message is one packet traversing the network. The payload is the
+// coherence-protocol message it carries, held as a concrete struct:
+// the network never inspects it, but typing it (instead of an
+// interface{} the machine layer asserted back) means injecting a
+// message boxes nothing and the per-reference hot path stays
+// allocation-free.
 type Message struct {
 	Src, Dst int  // endpoint indices in [0, Ports)
 	Flits    int  // link occupancy in cycles (1 flit = 8 bytes)
 	Bypass   bool // enter at the head of the entrance buffer (WO2 loads)
-	Payload  interface{}
+	Payload  memory.Msg
 }
 
 // Stats aggregates traffic counters for one network.
@@ -54,16 +59,53 @@ type Stats struct {
 
 // port is one link resource: an output port of a switch (or the
 // entrance buffer serving a source). Service rate is one flit/cycle.
+// The queue is consumed from head (an index, not a reslice) so its
+// backing array is reused; freeFn is the prebuilt end-of-service
+// callback (closing over the port identity once at construction).
 type port struct {
-	queue []*transit
-	busy  bool
+	queue  []*transit
+	head   int
+	busy   bool
+	freeFn func()
+}
+
+// qlen is the number of messages waiting in the port's queue.
+func (p *port) qlen() int { return len(p.queue) - p.head }
+
+// pop removes and returns the queue head.
+func (p *port) pop() *transit {
+	t := p.queue[p.head]
+	p.queue[p.head] = nil
+	p.head++
+	if p.head == len(p.queue) {
+		p.queue = p.queue[:0]
+		p.head = 0
+	}
+	return t
+}
+
+// pushFront inserts ahead of everything queued (WO2 bypass).
+func (p *port) pushFront(t *transit) {
+	if p.head > 0 {
+		p.head--
+		p.queue[p.head] = t
+		return
+	}
+	p.queue = append(p.queue, nil)
+	copy(p.queue[1:], p.queue)
+	p.queue[0] = t
 }
 
 // transit is a message in flight plus its progress bookkeeping.
+// Transits are pooled on the Network (free list through next) and
+// carry a prebuilt advance callback, so injecting and forwarding a
+// message allocates nothing in steady state.
 type transit struct {
-	msg    Message
-	hop    int       // next hop index to be serviced: 0=entrance, 1..n=stages
-	queued sim.Cycle // when it joined the current queue (for QueueDelay)
+	msg       Message
+	hop       int       // next hop index to be serviced: 0=entrance, 1..n=stages
+	queued    sim.Cycle // when it joined the current queue (for QueueDelay)
+	next      *transit  // free-list link
+	advanceFn func()
 }
 
 // Network is one Omega network instance.
@@ -79,6 +121,7 @@ type Network struct {
 
 	deliver func(dst int, m Message)
 	onSpace []func() // per-source callback when entrance space frees
+	tfree   *transit // transit record free list
 
 	faults   *robust.Injector // nil: no fault injection
 	inFlight int              // messages injected but not yet delivered
@@ -119,7 +162,48 @@ func New(eng *sim.Engine, ports, bufCap int, deliver func(dst int, m Message)) *
 	for s := range n.links {
 		n.links[s] = make([]port, padded)
 	}
+	// Prebuild the end-of-service callbacks: entrance ports notify
+	// their blocked sender, switch links do not.
+	for i := range n.entrance {
+		p, src := &n.entrance[i], i
+		p.freeFn = func() {
+			p.busy = false
+			n.kick(p, src)
+		}
+	}
+	for s := range n.links {
+		for i := range n.links[s] {
+			p := &n.links[s][i]
+			p.freeFn = func() {
+				p.busy = false
+				n.kick(p, -1)
+			}
+		}
+	}
 	return n
+}
+
+// allocTransit takes a pooled transit record for a fresh injection.
+func (n *Network) allocTransit(m Message) *transit {
+	t := n.tfree
+	if t == nil {
+		t = &transit{}
+		t.advanceFn = func() { n.advance(t) }
+	} else {
+		n.tfree = t.next
+	}
+	t.msg = m
+	t.hop = 0
+	t.queued = n.eng.Now()
+	t.next = nil
+	return t
+}
+
+// freeTransit recycles a delivered transit.
+func (n *Network) freeTransit(t *transit) {
+	t.msg = Message{}
+	t.next = n.tfree
+	n.tfree = t
 }
 
 // Ports returns the number of endpoints.
@@ -155,7 +239,7 @@ type Occupancy struct {
 func (n *Network) Occupancy() Occupancy {
 	o := Occupancy{Entrance: make([]int, n.ports), InFlight: n.inFlight}
 	for i := range n.entrance {
-		o.Entrance[i] = len(n.entrance[i].queue)
+		o.Entrance[i] = n.entrance[i].qlen()
 	}
 	return o
 }
@@ -197,16 +281,16 @@ func (n *Network) TrySend(m Message) bool {
 			Cycle: n.eng.Now(), Detail: fmt.Sprintf("message with %d flits", m.Flits)})
 	}
 	p := &n.entrance[m.Src]
-	if len(p.queue) >= n.bufCap {
+	if p.qlen() >= n.bufCap {
 		n.stats.Retries++
 		n.mc.NetRetry(n.netid, m.Src, n.eng.Now())
 		return false
 	}
-	t := &transit{msg: m, hop: 0, queued: n.eng.Now()}
-	if m.Bypass && len(p.queue) > 0 {
+	t := n.allocTransit(m)
+	if m.Bypass && p.qlen() > 0 {
 		n.stats.Bypasses++
-		n.stats.BypassedOver += uint64(len(p.queue))
-		p.queue = append([]*transit{t}, p.queue...)
+		n.stats.BypassedOver += uint64(p.qlen())
+		p.pushFront(t)
 	} else {
 		p.queue = append(p.queue, t)
 	}
@@ -230,11 +314,10 @@ func (n *Network) portAt(t *transit) *port {
 // entranceSrc >= 0 identifies entrance ports so that freeing a slot can
 // notify a blocked sender.
 func (n *Network) kick(p *port, entranceSrc int) {
-	if p.busy || len(p.queue) == 0 {
+	if p.busy || p.qlen() == 0 {
 		return
 	}
-	t := p.queue[0]
-	p.queue = p.queue[1:]
+	t := p.pop()
 	p.busy = true
 	n.stats.QueueDelay += uint64(n.eng.Now() - t.queued)
 	n.mc.NetWait(n.netid, n.eng.Now(), uint64(n.eng.Now()-t.queued))
@@ -251,12 +334,9 @@ func (n *Network) kick(p *port, entranceSrc int) {
 	}
 
 	// Head advances to the next hop one cycle after service starts.
-	n.eng.After(1+extra, func() { n.advance(t) })
+	n.eng.After(1+extra, t.advanceFn)
 	// The link is busy for the full message length.
-	n.eng.After(flits+extra, func() {
-		p.busy = false
-		n.kick(p, entranceSrc)
-	})
+	n.eng.After(flits+extra, p.freeFn)
 	if entranceSrc >= 0 {
 		// A slot freed the moment the head left the queue.
 		if fn := n.onSpace[entranceSrc]; fn != nil {
@@ -273,7 +353,9 @@ func (n *Network) advance(t *transit) {
 	if t.hop > n.stages {
 		n.stats.Messages++
 		n.inFlight--
-		n.deliver(t.msg.Dst, t.msg)
+		dst, msg := t.msg.Dst, t.msg
+		n.freeTransit(t)
+		n.deliver(dst, msg)
 		return
 	}
 	t.queued = n.eng.Now()

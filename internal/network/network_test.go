@@ -5,8 +5,15 @@ import (
 	"testing"
 	"testing/quick"
 
+	"memsim/internal/memory"
 	"memsim/internal/sim"
 )
+
+// tag builds a payload carrying an identifying number; the network
+// never inspects payloads, so tests just need a round-trippable mark.
+func tag(id int) memory.Msg { return memory.Msg{Line: uint64(id)} }
+
+func tagOf(m Message) int { return int(m.Payload.Line) }
 
 type delivery struct {
 	dst int
@@ -63,7 +70,7 @@ func TestAllPairsDelivered(t *testing.T) {
 		for d := 0; d < ports; d++ {
 			s, d := s, d
 			eng.At(sim.Cycle(s*50+d*2), func() {
-				if !n.TrySend(Message{Src: s, Dst: d, Flits: 1, Payload: [2]int{s, d}}) {
+				if !n.TrySend(Message{Src: s, Dst: d, Flits: 1, Payload: tag(s<<8 | d)}) {
 					t.Errorf("send %d->%d rejected", s, d)
 				}
 			})
@@ -75,9 +82,8 @@ func TestAllPairsDelivered(t *testing.T) {
 		t.Fatalf("delivered %d, want %d", len(*got), sent)
 	}
 	for _, d := range *got {
-		p := d.msg.Payload.([2]int)
-		if p[1] != d.dst {
-			t.Errorf("message %v delivered to %d", p, d.dst)
+		if tagOf(d.msg)&0xff != d.dst {
+			t.Errorf("message %d delivered to %d", tagOf(d.msg), d.dst)
 		}
 	}
 }
@@ -105,7 +111,7 @@ func TestFIFOPerPair(t *testing.T) {
 			sentSeq[k] = append(sentSeq[k], id)
 			flits := 1 + rng.Intn(8)
 			eng.At(at, func() {
-				if !n.TrySend(Message{Src: s, Dst: d, Flits: flits, Payload: id}) {
+				if !n.TrySend(Message{Src: s, Dst: d, Flits: flits, Payload: tag(id)}) {
 					t.Errorf("staggered send rejected")
 				}
 			})
@@ -114,8 +120,7 @@ func TestFIFOPerPair(t *testing.T) {
 	eng.Run(nil)
 	gotSeq := map[key][]int{}
 	for _, d := range *got {
-		p := d.msg.Payload.(int)
-		gotSeq[key{d.msg.Src, d.dst}] = append(gotSeq[key{d.msg.Src, d.dst}], p)
+		gotSeq[key{d.msg.Src, d.dst}] = append(gotSeq[key{d.msg.Src, d.dst}], tagOf(d.msg))
 	}
 	for k, want := range sentSeq {
 		g := gotSeq[k]
@@ -188,8 +193,8 @@ func TestContentionSerializesSharedLink(t *testing.T) {
 	var eng sim.Engine
 	got, deliver := collector(&eng)
 	n := New(&eng, 16, 4, deliver)
-	n.TrySend(Message{Src: 0, Dst: 5, Flits: 9, Payload: "a"})
-	n.TrySend(Message{Src: 1, Dst: 5, Flits: 9, Payload: "b"})
+	n.TrySend(Message{Src: 0, Dst: 5, Flits: 9, Payload: tag(0)})
+	n.TrySend(Message{Src: 1, Dst: 5, Flits: 9, Payload: tag(1)})
 	eng.Run(nil)
 	if len(*got) != 2 {
 		t.Fatalf("delivered %d, want 2", len(*got))
@@ -208,17 +213,18 @@ func TestBypassJumpsQueue(t *testing.T) {
 	got, deliver := collector(&eng)
 	n := New(&eng, 16, 4, deliver)
 	// A long message in service, two queued stores, then a bypassing load.
-	n.TrySend(Message{Src: 0, Dst: 1, Flits: 30, Payload: "tx"})
-	n.TrySend(Message{Src: 0, Dst: 2, Flits: 1, Payload: "st1"})
-	n.TrySend(Message{Src: 0, Dst: 3, Flits: 1, Payload: "st2"})
-	n.TrySend(Message{Src: 0, Dst: 4, Flits: 1, Bypass: true, Payload: "ld"})
+	names := []string{"tx", "st1", "st2", "ld"}
+	n.TrySend(Message{Src: 0, Dst: 1, Flits: 30, Payload: tag(0)})
+	n.TrySend(Message{Src: 0, Dst: 2, Flits: 1, Payload: tag(1)})
+	n.TrySend(Message{Src: 0, Dst: 3, Flits: 1, Payload: tag(2)})
+	n.TrySend(Message{Src: 0, Dst: 4, Flits: 1, Bypass: true, Payload: tag(3)})
 	eng.Run(nil)
 	if len(*got) != 4 {
 		t.Fatalf("delivered %d, want 4", len(*got))
 	}
 	order := []string{}
 	for _, d := range *got {
-		order = append(order, d.msg.Payload.(string))
+		order = append(order, names[tagOf(d.msg)])
 	}
 	want := []string{"tx", "ld", "st1", "st2"}
 	for i := range want {
@@ -289,7 +295,7 @@ func TestQuickRandomTrafficDelivered(t *testing.T) {
 				Src:     0, // single source so retry bookkeeping stays simple
 				Dst:     rng.Intn(16),
 				Flits:   1 + rng.Intn(8),
-				Payload: i,
+				Payload: tag(i),
 			}
 			at := sim.Cycle(rng.Intn(500))
 			eng.At(at, func() { trySend(m) })
@@ -303,7 +309,7 @@ func TestQuickRandomTrafficDelivered(t *testing.T) {
 		}
 		seen := map[int]bool{}
 		for _, d := range *got {
-			id := d.msg.Payload.(int)
+			id := tagOf(d.msg)
 			if seen[id] {
 				return false
 			}

@@ -6,48 +6,77 @@
 // At/After; the machine drains the queue in (cycle, insertion-order)
 // order, which makes every simulation deterministic and therefore
 // reproducible in tests.
+//
+// Internally the queue is a bucketed calendar queue (DESIGN.md §9): a
+// power-of-two ring of per-cycle FIFO buckets covers the near horizon
+// [Now, Now+horizon), a two-level bitmap finds the next occupied
+// bucket in O(1), and a small typed min-heap holds the rare far-future
+// events (watchdog and Every ticks) until the window slides over them.
+// Event records are typed nodes recycled through a free list, so the
+// steady-state schedule/execute cycle performs zero heap allocations —
+// no interface{} boxing, no per-event container churn. The execution
+// order is bit-identical to the previous binary-heap engine: the exact
+// (at, seq) tie-break semantics are pinned by the golden-result corpus
+// (testdata/golden/) and the differential test against a reference
+// scheduler in engine_diff_test.go.
 package sim
 
-import "container/heap"
+import "math/bits"
 
 // Cycle is a point in simulated time, measured in processor cycles from
 // the start of the run.
 type Cycle = uint64
 
-// event is one scheduled callback.
-type event struct {
-	at  Cycle
-	seq uint64 // tie-breaker: insertion order within a cycle
-	fn  func()
+const (
+	// horizon is the ring size: the number of future cycles (including
+	// the current one) addressable without the overflow heap. It must
+	// be a power of two and a multiple of 64. 1024 cycles comfortably
+	// covers every latency in the simulated machine (the longest
+	// single delay on the hot path is a full line transfer plus memory
+	// occupancy, well under 100 cycles); only watchdog ticks and
+	// invariant-checker periods land in the overflow heap.
+	horizon = 1024
+	ringMax = horizon - 1
+	bmWords = horizon / 64
+)
+
+// node is one scheduled callback, linked into a bucket FIFO or parked
+// on the free list. Nodes are addressed by 1-based int32 handles into
+// Engine.nodes; handle 0 means "none", which keeps the zero-valued
+// Engine ready to use.
+type node struct {
+	fn   func()
+	at   Cycle
+	seq  uint64 // tie-breaker: insertion order within a cycle
+	next int32  // bucket FIFO / free-list link
 }
 
-// eventHeap orders events by (at, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
+// bucket is one ring slot: a FIFO of the events for a single cycle.
+// Because direct inserts arrive in seq order and overflow migration
+// always precedes them (see migrate), appending at the tail keeps the
+// list sorted by seq with zero comparisons.
+type bucket struct{ head, tail int32 }
 
 // Engine is a deterministic discrete-event scheduler.
 // The zero value is ready to use.
 type Engine struct {
 	now   Cycle
 	seq   uint64
-	queue eventHeap
 	steps uint64
+	count int // pending events across ring and overflow
+
+	nodes []node // handle-addressed node pool; slot 0 reserved
+	free  int32  // free-list head (0: empty)
+
+	buckets [horizon]bucket
+	occ     [bmWords]uint64 // bit b of word w set: bucket w*64+b non-empty
+	summary uint64          // bit w set: occ[w] != 0
+
+	// overflow is a typed min-heap of node handles ordered by
+	// (at, seq), holding events with at-now >= horizon. Between Steps
+	// every overflow event satisfies that bound, so the ring always
+	// owns the earliest pending cycle whenever it is non-empty.
+	overflow []int32
 }
 
 // Now returns the current simulated cycle.
@@ -57,6 +86,113 @@ func (e *Engine) Now() Cycle { return e.now }
 // progress/abort metric in tests).
 func (e *Engine) Steps() uint64 { return e.steps }
 
+// alloc takes a node from the free list, growing the pool only when it
+// is exhausted (steady state allocates nothing).
+func (e *Engine) alloc(at Cycle, fn func()) int32 {
+	h := e.free
+	if h != 0 {
+		e.free = e.nodes[h].next
+	} else {
+		if e.nodes == nil {
+			e.nodes = make([]node, 1, 1024) // slot 0 reserved as nil
+		}
+		e.nodes = append(e.nodes, node{})
+		h = int32(len(e.nodes) - 1)
+	}
+	n := &e.nodes[h]
+	n.at, n.seq, n.fn, n.next = at, e.seq, fn, 0
+	return h
+}
+
+// release returns a node to the free list, dropping its callback so
+// the garbage collector can reclaim whatever the closure captured.
+func (e *Engine) release(h int32) {
+	n := &e.nodes[h]
+	n.fn = nil
+	n.next = e.free
+	e.free = h
+}
+
+// ringPush appends a node to the bucket for cycle at (which must be
+// within [now, now+horizon)) and marks it occupied in the bitmaps.
+func (e *Engine) ringPush(h int32, at Cycle) {
+	idx := uint(at) & ringMax
+	b := &e.buckets[idx]
+	if b.tail == 0 {
+		b.head, b.tail = h, h
+		w := idx >> 6
+		e.occ[w] |= 1 << (idx & 63)
+		e.summary |= 1 << w
+	} else {
+		e.nodes[b.tail].next = h
+		b.tail = h
+	}
+}
+
+// heapLess orders overflow handles by (at, seq).
+func (e *Engine) heapLess(a, b int32) bool {
+	na, nb := &e.nodes[a], &e.nodes[b]
+	return na.at < nb.at || (na.at == nb.at && na.seq < nb.seq)
+}
+
+// heapPush inserts a handle into the overflow min-heap.
+func (e *Engine) heapPush(h int32) {
+	e.overflow = append(e.overflow, h)
+	i := len(e.overflow) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !e.heapLess(e.overflow[i], e.overflow[p]) {
+			break
+		}
+		e.overflow[i], e.overflow[p] = e.overflow[p], e.overflow[i]
+		i = p
+	}
+}
+
+// heapPop removes and returns the overflow minimum.
+func (e *Engine) heapPop() int32 {
+	h := e.overflow[0]
+	last := len(e.overflow) - 1
+	e.overflow[0] = e.overflow[last]
+	e.overflow = e.overflow[:last]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		c := l
+		if r := l + 1; r < last && e.heapLess(e.overflow[r], e.overflow[l]) {
+			c = r
+		}
+		if !e.heapLess(e.overflow[c], e.overflow[i]) {
+			break
+		}
+		e.overflow[i], e.overflow[c] = e.overflow[c], e.overflow[i]
+		i = c
+	}
+	return h
+}
+
+// migrate moves overflow events that have entered the ring window into
+// their buckets. Called immediately after now advances, before the
+// popped event's callback runs: heap pops deliver the migrants in
+// (at, seq) order, and any direct insert for a newly covered cycle can
+// only happen in a later callback (inserting at cycle C from outside
+// the overflow requires now > C-horizon, by which point this migration
+// has already run), so bucket FIFO order remains seq order.
+func (e *Engine) migrate() {
+	for len(e.overflow) > 0 {
+		h := e.overflow[0]
+		at := e.nodes[h].at
+		if at-e.now >= horizon {
+			return
+		}
+		e.heapPop()
+		e.ringPush(h, at)
+	}
+}
+
 // At schedules fn to run at the given cycle. Scheduling in the past
 // (before Now) panics: it would silently reorder causality.
 func (e *Engine) At(at Cycle, fn func()) {
@@ -64,7 +200,13 @@ func (e *Engine) At(at Cycle, fn func()) {
 		panic("sim: scheduling event in the past")
 	}
 	e.seq++
-	heap.Push(&e.queue, event{at: at, seq: e.seq, fn: fn})
+	h := e.alloc(at, fn)
+	e.count++
+	if at-e.now < horizon {
+		e.ringPush(h, at)
+	} else {
+		e.heapPush(h)
+	}
 }
 
 // After schedules fn to run delay cycles from now.
@@ -90,27 +232,83 @@ func (e *Engine) Every(interval Cycle, fn func() bool) {
 }
 
 // Pending reports whether any events remain in the queue.
-func (e *Engine) Pending() bool { return len(e.queue) > 0 }
+func (e *Engine) Pending() bool { return e.count > 0 }
+
+// ringEarliest returns the cycle of the earliest occupied bucket,
+// scanning the two-level bitmap circularly from now's slot. The caller
+// guarantees the ring is non-empty (summary != 0).
+func (e *Engine) ringEarliest() Cycle {
+	start := uint(e.now) & ringMax
+	sw, sb := start>>6, start&63
+	// Bits at or after start within its word.
+	if w := e.occ[sw] >> sb; w != 0 {
+		return e.now + Cycle(bits.TrailingZeros64(w))
+	}
+	// Whole words after start's, up to the end of the ring.
+	if s := e.summary >> (sw + 1) << (sw + 1); s != 0 {
+		w := uint(bits.TrailingZeros64(s))
+		idx := w<<6 + uint(bits.TrailingZeros64(e.occ[w]))
+		return e.now + Cycle(idx-start)
+	}
+	// Wrapped around: whole words before start's.
+	if s := e.summary & (1<<sw - 1); s != 0 {
+		w := uint(bits.TrailingZeros64(s))
+		idx := w<<6 + uint(bits.TrailingZeros64(e.occ[w]))
+		return e.now + Cycle(horizon-start+idx)
+	}
+	// Wrapped into the low bits of start's own word.
+	w := e.occ[sw] & (1<<sb - 1)
+	idx := sw<<6 + uint(bits.TrailingZeros64(w))
+	return e.now + Cycle(horizon-start+idx)
+}
+
+// earliest returns the cycle of the earliest pending event. The caller
+// guarantees count > 0. Between Steps every overflow event lies at or
+// beyond now+horizon, so a non-empty ring always wins.
+func (e *Engine) earliest() Cycle {
+	if e.summary != 0 {
+		return e.ringEarliest()
+	}
+	return e.nodes[e.overflow[0]].at
+}
 
 // NextTime returns the cycle of the earliest pending event. It panics if
 // the queue is empty; check Pending first.
 func (e *Engine) NextTime() Cycle {
-	if len(e.queue) == 0 {
+	if e.count == 0 {
 		panic("sim: NextTime on empty queue")
 	}
-	return e.queue[0].at
+	return e.earliest()
 }
 
 // Step executes the single earliest pending event, advancing Now to its
 // cycle. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if e.count == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(event)
-	e.now = ev.at
+	if at := e.earliest(); at != e.now {
+		e.now = at
+		e.migrate()
+	}
+	idx := uint(e.now) & ringMax
+	b := &e.buckets[idx]
+	h := b.head
+	n := &e.nodes[h]
+	b.head = n.next
+	if b.head == 0 {
+		b.tail = 0
+		w := idx >> 6
+		e.occ[w] &^= 1 << (idx & 63)
+		if e.occ[w] == 0 {
+			e.summary &^= 1 << w
+		}
+	}
+	fn := n.fn
+	e.count--
 	e.steps++
-	ev.fn()
+	e.release(h)
+	fn()
 	return true
 }
 

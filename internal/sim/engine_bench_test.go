@@ -23,6 +23,62 @@ func BenchmarkEventThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineStep is the benchmark-regression harness's headline
+// number (BENCH_pr3.json, CI bench-smoke): a steady-state mix of
+// near-horizon delays feeding Step, with allocations reported. The
+// budget is 0 allocs/op — enforced hard by TestZeroAllocSteadyState.
+func BenchmarkEngineStep(b *testing.B) {
+	var e Engine
+	delays := [8]Cycle{1, 2, 3, 5, 8, 13, 21, 34}
+	n := 0
+	var tick func()
+	tick = func() {
+		if n < b.N {
+			e.After(delays[n&7], tick)
+			n++
+		}
+	}
+	// Keep a few events in flight so Step exercises bucket scans, not
+	// just the trivial one-event queue.
+	for i := 0; i < 4; i++ {
+		e.At(Cycle(i), tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for e.Step() {
+	}
+	if n != b.N {
+		b.Fatalf("ran %d events, want %d", n, b.N)
+	}
+}
+
+// TestZeroAllocSteadyState pins the tentpole guarantee: once the node
+// pool is warm, a schedule+execute round trip (After followed by the
+// Step that runs it) performs zero heap allocations — for near-horizon
+// delays, same-cycle events, and far-future delays that transit the
+// overflow heap alike.
+func TestZeroAllocSteadyState(t *testing.T) {
+	var e Engine
+	fn := func() {}
+	// Warm the pool and the overflow heap's backing array.
+	for i := 0; i < 64; i++ {
+		e.After(Cycle(i%5)*2000, fn)
+	}
+	for e.Step() {
+	}
+	for _, delay := range []Cycle{0, 1, 100, horizon - 1, horizon, 5000} {
+		d := delay
+		avg := testing.AllocsPerRun(200, func() {
+			e.After(d, fn)
+			for e.Step() {
+			}
+		})
+		if avg != 0 {
+			t.Errorf("delay %d: After+Step allocates %v times per op, want 0", d, avg)
+		}
+	}
+}
+
 // BenchmarkEventFanout measures a bursty schedule: many events at the
 // same cycle (the barrier-release pattern).
 func BenchmarkEventFanout(b *testing.B) {
