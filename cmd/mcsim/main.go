@@ -18,17 +18,29 @@
 //	mcsim -bench gauss -stall-cycles 200000 -check-every 5000 -diag
 //	mcsim -bench qsort -fault-prob 0.05 -fault-delay 12 -fault-seed 7
 //
+// Checkpoint/restore (the run must use identical configuration flags):
+//
+//	mcsim -bench gauss -ckpt g.mcsp -ckpt-every 1000000   # periodic snapshots
+//	mcsim -bench gauss -restore g.mcsp -ckpt g.mcsp       # continue a run
+//
+// SIGINT/SIGTERM stops the run gracefully: with -ckpt a final snapshot
+// is written, the diagnostic dump is available under -diag, and mcsim
+// exits non-zero; a second signal aborts immediately.
+//
 // On any failure mcsim exits non-zero with the structured error text;
 // -diag additionally prints the machine's diagnostic dump (processor,
 // MSHR, network and directory state at the failure cycle).
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"memsim"
 	"memsim/internal/machine"
@@ -56,6 +68,10 @@ func main() {
 		chromeF  = flag.String("chrome-trace", "", "write a Chrome trace-event timeline (Perfetto-loadable) to this file")
 		histF    = flag.Bool("hist", false, "print the stall breakdown and latency histograms as text")
 		epochF   = flag.Uint64("epoch", 0, "utilization sampling epoch in cycles (0: default 4096)")
+
+		ckptF     = flag.String("ckpt", "", "write machine snapshots to this file (periodic with -ckpt-every; always on interruption)")
+		ckptEvery = flag.Uint64("ckpt-every", 0, "simulated cycles between periodic snapshots (0: only on interruption)")
+		restoreF  = flag.String("restore", "", "restore the machine from this snapshot file and continue the run")
 
 		diag       = flag.Bool("diag", false, "print a full diagnostic dump if the run fails")
 		stall      = flag.Int("stall-cycles", 0, "fail if no instruction retires for N cycles (0: off)")
@@ -102,11 +118,30 @@ func main() {
 			mc.SetEpoch(*epochF)
 		}
 	}
-	res, err := run(cfg, w, rec, mc)
+	// Graceful interruption: the first SIGINT/SIGTERM cancels the run
+	// (a final snapshot is written when -ckpt is set); a second signal
+	// aborts immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sigs
+		fmt.Fprintf(os.Stderr, "\nmcsim: %v: stopping gracefully (repeat to abort)\n", s)
+		cancel()
+		<-sigs
+		fmt.Fprintln(os.Stderr, "mcsim: aborted")
+		os.Exit(130)
+	}()
+
+	res, err := run(ctx, cfg, w, rec, mc, *ckptF, *ckptEvery, *restoreF)
 	if err != nil {
 		var se *robust.SimError
 		if *diag && errors.As(err, &se) && se.Dump != "" {
 			fmt.Fprint(os.Stderr, se.Dump)
+		}
+		if *ckptF != "" && errors.As(err, &se) && se.Kind == robust.Canceled {
+			fmt.Fprintf(os.Stderr, "mcsim: snapshot saved to %s; rerun with -restore %s to continue\n", *ckptF, *ckptF)
 		}
 		fatal(err)
 	}
@@ -192,9 +227,10 @@ func writeTo(path string, write func(io.Writer) error) error {
 	return f.Close()
 }
 
-// run executes the workload, optionally with a protocol tracer and a
-// metrics collector.
-func run(cfg memsim.Config, w memsim.Workload, rec *trace.Recorder, mc *memsim.Metrics) (memsim.Result, error) {
+// run executes the workload, optionally with a protocol tracer, a
+// metrics collector, checkpointing, and a snapshot to restore from.
+func run(ctx context.Context, cfg memsim.Config, w memsim.Workload, rec *trace.Recorder, mc *memsim.Metrics,
+	ckpt string, ckptEvery uint64, restore string) (memsim.Result, error) {
 	if cfg.Procs == 0 {
 		cfg.Procs = w.Procs
 	}
@@ -209,10 +245,30 @@ func run(cfg memsim.Config, w memsim.Workload, rec *trace.Recorder, mc *memsim.M
 		m.AttachTracer(rec)
 	}
 	m.AttachMetrics(mc)
-	if w.Setup != nil {
+	if restore != "" {
+		snap, err := machine.ReadSnapshotFile(restore)
+		if err != nil {
+			return memsim.Result{}, err
+		}
+		if err := m.Restore(snap); err != nil {
+			return memsim.Result{}, err
+		}
+		fmt.Fprintf(os.Stderr, "mcsim: restored %s at cycle %d\n", restore, m.Eng.Now())
+	} else if w.Setup != nil {
 		w.Setup(m.Shared())
 	}
-	res, err := m.Run(0)
+	rc := machine.RunControl{Ctx: ctx}
+	if ckpt != "" {
+		rc.CheckpointEvery = ckptEvery
+		rc.Checkpoint = func() error {
+			snap, err := m.Snapshot()
+			if err != nil {
+				return err
+			}
+			return machine.WriteSnapshotFile(ckpt, snap)
+		}
+	}
+	res, err := m.RunControlled(rc)
 	if err != nil {
 		return res, err
 	}

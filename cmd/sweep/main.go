@@ -8,6 +8,8 @@
 //	sweep -all -out EXPERIMENTS.out  # also write the report to a file
 //	sweep -all -j 4                  # run experiments on 4 workers
 //	sweep -exp t2 -metrics-dir m/    # per-run cycle-attribution JSON
+//	sweep -all -state runs/          # journal + checkpoints, crash-tolerant
+//	sweep -all -state runs/ -resume  # continue an interrupted sweep
 //
 // Experiments: t2 (Table 2 + appendix), f2, f4, f5, f6, f7, f8, f9,
 // t3-6 (the delay-sensitivity tables), plus the extension ablations
@@ -17,17 +19,32 @@
 // -md and -all/-exp together run shared baselines once, and -j spreads
 // experiments over a bounded worker pool with output still printed in
 // id order.
+//
+// With -state, every simulation run is journaled to DIR/journal.jsonl
+// (one JSON line per run: running/done/failed, with the full result and
+// its checksum), periodic machine snapshots land in DIR/ckpt/, and
+// diagnostic dumps from failed or interrupted runs in DIR/dumps/.
+// SIGINT/SIGTERM stops the sweep gracefully: in-flight machines write a
+// final checkpoint, the journal records what finished, and the process
+// exits nonzero; a second signal exits immediately. A later -resume
+// replays the journal — completed runs are recalled, not re-simulated —
+// and restores in-flight runs from their latest valid checkpoint.
+// A failed experiment no longer aborts the sweep: remaining experiments
+// run to completion and the process exits nonzero at the end.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"memsim/internal/experiments"
@@ -38,15 +55,21 @@ import (
 
 func main() {
 	var (
-		all    = flag.Bool("all", false, "run every experiment")
-		exp    = flag.String("exp", "", "comma-separated experiment ids (t2,f2,f4,f5,f6,f7,f8,f9,t3-6)")
-		preset = flag.String("preset", "scaled", "parameter preset: quick, scaled, paper")
-		outF   = flag.String("out", "", "also write the report to this file")
-		mdF    = flag.String("md", "", "write the full EXPERIMENTS.md-style report to this file")
-		quiet  = flag.Bool("q", false, "suppress per-run progress")
-		diagF  = flag.Bool("diag", false, "print the diagnostic dump if a run fails")
-		jobs   = flag.Int("j", 1, "experiments run concurrently (0: one per CPU)")
-		metDir = flag.String("metrics-dir", "", "write one cycle-attribution JSON per fresh run into this directory")
+		all      = flag.Bool("all", false, "run every experiment")
+		exp      = flag.String("exp", "", "comma-separated experiment ids (t2,f2,f4,f5,f6,f7,f8,f9,t3-6)")
+		preset   = flag.String("preset", "scaled", "parameter preset: quick, scaled, paper")
+		outF     = flag.String("out", "", "also write the report to this file")
+		mdF      = flag.String("md", "", "write the full EXPERIMENTS.md-style report to this file")
+		quiet    = flag.Bool("q", false, "suppress per-run progress")
+		diagF    = flag.Bool("diag", false, "print the diagnostic dump if a run fails")
+		jobs     = flag.Int("j", 1, "experiments run concurrently (0: one per CPU)")
+		metDir   = flag.String("metrics-dir", "", "write one cycle-attribution JSON per fresh run into this directory")
+		stateDir = flag.String("state", "", "journal + checkpoint directory for crash-tolerant sweeps")
+		resume   = flag.Bool("resume", false, "replay the -state journal and continue an interrupted sweep")
+		ckptEvry = flag.Uint64("ckpt-every", 2_000_000, "simulated cycles between machine checkpoints (with -state; 0: only on interruption)")
+		timeout  = flag.Duration("timeout", 0, "wall-clock limit per simulation attempt (0: none)")
+		retries  = flag.Int("retries", 0, "retry attempts for timed-out or stalled runs")
+		backoff  = flag.Duration("backoff", time.Second, "wait before the first retry (doubles per attempt)")
 	)
 	diag = diagF
 	flag.Parse()
@@ -62,11 +85,34 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown preset %q", *preset))
 	}
+	if *resume && *stateDir == "" {
+		fatal(errors.New("-resume requires -state"))
+	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the run
+	// context (in-flight machines checkpoint and stop); a second signal
+	// aborts immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sigs
+		fmt.Fprintf(os.Stderr, "\nsweep: %v: stopping gracefully (checkpointing in-flight runs; repeat to abort)\n", s)
+		cancel()
+		<-sigs
+		fmt.Fprintln(os.Stderr, "sweep: aborted")
+		os.Exit(130)
+	}()
 
 	// One Runner serves every path below, so baselines shared between
 	// the markdown report and the selected experiments are simulated
 	// exactly once.
 	r := experiments.NewRunner(params)
+	r.BaseCtx = ctx
+	r.Timeout = *timeout
+	r.Retries = *retries
+	r.Backoff = *backoff
 	if !*quiet {
 		r.Log = os.Stderr
 	}
@@ -75,6 +121,46 @@ func main() {
 			fatal(err)
 		}
 		r.MetricsSink = metricsSink(*metDir)
+	}
+
+	var journal *experiments.Journal
+	if *stateDir != "" {
+		journalPath := filepath.Join(*stateDir, "journal.jsonl")
+		if *resume {
+			entries, err := experiments.ReplayJournal(journalPath)
+			if err != nil {
+				fatal(err)
+			}
+			if n := r.Seed(entries); !*quiet {
+				fmt.Fprintf(os.Stderr, "sweep: resumed %d completed runs from %s\n", n, journalPath)
+			}
+		}
+		var err error
+		if journal, err = experiments.OpenJournal(journalPath); err != nil {
+			fatal(err)
+		}
+		defer journal.Close()
+		r.Ckpt = experiments.CheckpointPolicy{Dir: filepath.Join(*stateDir, "ckpt"), Every: *ckptEvry}
+		dumpDir := filepath.Join(*stateDir, "dumps")
+		r.OnStart = func(key string, spec experiments.RunSpec) {
+			journal.Append(experiments.JournalEntry{Key: key, Spec: spec, Status: experiments.StatusRunning})
+		}
+		r.OnResult = func(key string, spec experiments.RunSpec, res machine.Result) {
+			journal.Append(experiments.JournalEntry{
+				Key: key, Spec: spec, Status: experiments.StatusDone,
+				Checksum: res.Checksum(), Result: &res,
+			})
+		}
+		r.OnFailure = func(key string, spec experiments.RunSpec, err error) {
+			journal.Append(experiments.JournalEntry{Key: key, Spec: spec, Status: experiments.StatusFailed, Err: err.Error()})
+			var se *robust.SimError
+			if errors.As(err, &se) && se.Dump != "" {
+				name := strings.NewReplacer("/", "_", " ", "").Replace(key) + ".dump"
+				if werr := robust.WriteDump(filepath.Join(dumpDir, name), se.Dump); werr != nil {
+					fmt.Fprintf(os.Stderr, "sweep: %v\n", werr)
+				}
+			}
+		}
 	}
 
 	if *mdF != "" {
@@ -113,7 +199,8 @@ func main() {
 	}
 
 	// Run the experiments on a bounded worker pool; results land in a
-	// slice indexed by position so output order stays deterministic.
+	// slice indexed by position so output order stays deterministic. A
+	// failed experiment is recorded and the rest continue.
 	type outcome struct {
 		text string
 		err  error
@@ -128,6 +215,10 @@ func main() {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				results[i] = outcome{"", fmt.Errorf("%s: %w", id, ctx.Err())}
+				return
+			}
 			text, err := runOne(r, id)
 			results[i] = outcome{text, err}
 		}()
@@ -135,9 +226,13 @@ func main() {
 	wg.Wait()
 
 	var report strings.Builder
-	for _, res := range results {
+	failed := 0
+	for i, res := range results {
 		if res.err != nil {
-			fatal(res.err)
+			failed++
+			report.WriteString(fmt.Sprintf("experiment %s FAILED: %v\n\n", strings.TrimSpace(ids[i]), res.err))
+			complain(res.err)
+			continue
 		}
 		report.WriteString(res.text)
 		report.WriteString("\n")
@@ -147,6 +242,13 @@ func main() {
 		if err := os.WriteFile(*outF, []byte(report.String()), 0o644); err != nil {
 			fatal(err)
 		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d of %d experiments failed\n", failed, len(ids))
+		if ctx.Err() != nil && *stateDir != "" {
+			fmt.Fprintf(os.Stderr, "sweep: interrupted; rerun with -state %s -resume to continue\n", *stateDir)
+		}
+		os.Exit(1)
 	}
 }
 
@@ -223,17 +325,23 @@ func stringify(s fmt.Stringer, err error) (string, error) {
 	return s.String(), nil
 }
 
-// diag mirrors the -diag flag for fatal (set before any run starts).
+// diag mirrors the -diag flag for error reporting (set before any run
+// starts).
 var diag *bool
 
-// fatal prints the structured error text — and, under -diag, the
-// machine diagnostic dump a SimError carries — then exits non-zero.
-// Simulator failures never surface as stack traces.
-func fatal(err error) {
+// complain prints the structured error text — and, under -diag, the
+// machine diagnostic dump a SimError carries. Simulator failures never
+// surface as stack traces.
+func complain(err error) {
 	var se *robust.SimError
 	if diag != nil && *diag && errors.As(err, &se) && se.Dump != "" {
 		fmt.Fprint(os.Stderr, se.Dump)
 	}
 	fmt.Fprintln(os.Stderr, "sweep:", err)
+}
+
+// fatal reports a configuration-level error and exits non-zero.
+func fatal(err error) {
+	complain(err)
 	os.Exit(1)
 }

@@ -163,6 +163,7 @@ type line struct {
 }
 
 type mshr struct {
+	idx      int // position in Cache.mshr (event descriptors)
 	valid    bool
 	line     uint64
 	excl     bool
@@ -263,6 +264,7 @@ func New(eng *sim.Engine, id int, cfg Config, send func(msg memory.Msg, bypass b
 	// schedules engine events without allocating.
 	for i := range c.mshr {
 		m := &c.mshr[i]
+		m.idx = i
 		m.bindFn = func() { m.on.Bind() }
 		m.fillFn = func() { c.finishFill(m) }
 	}
@@ -538,12 +540,12 @@ func (c *Cache) receiveData(msg memory.Msg) {
 		if !m.excl || m.early {
 			// Loads bind at the first word (including ownership-fetching
 			// loads: the value arrives before the ownership settles).
-			c.eng.After(1, m.bindFn)
+			c.eng.AfterEvent(1, m.bindFn, c.evdesc(cacheEvBind, m.idx))
 		} else {
 			m.lateBind = true
 		}
 	}
-	c.eng.After(sim.Cycle(c.words), m.fillFn)
+	c.eng.AfterEvent(sim.Cycle(c.words), m.fillFn, c.evdesc(cacheEvFill, m.idx))
 }
 
 // finishFill runs when a data message's tail has arrived: install the

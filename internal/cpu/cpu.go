@@ -145,6 +145,11 @@ type CPU struct {
 	awaitWhy      parkReason // stall reason while awaiting completes
 	prefetchFired bool       // one SC2 prefetch per stall episode
 
+	// Restore linkage: a snapshot saved this CPU awaiting an op still
+	// held by an MSHR; RestoreBinder re-links it by miss sequence.
+	wantAwait    bool
+	wantAwaitSeq uint64
+
 	release        *pendingRelease
 	relBuf         pendingRelease // backing storage: at most one release pends
 	releaseBarrier uint64         // misses with seq <= barrier gate the release
@@ -256,7 +261,7 @@ func (c *CPU) schedule(at sim.Cycle) {
 		return
 	}
 	c.scheduled = true
-	c.eng.At(at, c.runFn)
+	c.eng.AtEvent(at, c.runFn, sim.EventDesc{Comp: sim.CompCPU, Kind: cpuEvRun, Unit: int32(c.id)})
 }
 
 // reconsider wakes a parked processor so it can re-evaluate its stall;

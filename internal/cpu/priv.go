@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"fmt"
+	"sort"
 
 	"memsim/internal/isa"
 )
@@ -57,3 +58,28 @@ func (p *PrivMem) Write(addr uint64, v uint64) {
 // Words returns the number of allocated pages times the page size — a
 // footprint metric for tests.
 func (p *PrivMem) Words() int { return len(p.pages) * privPageWords }
+
+// save serializes the allocated pages, sorted by page number so
+// snapshot bytes are deterministic.
+func (p *PrivMem) save() []PrivPage {
+	out := make([]PrivPage, 0, len(p.pages))
+	for page := range p.pages {
+		out = append(out, PrivPage{Page: page})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Page < out[j].Page })
+	for i := range out {
+		words := make([]uint64, privPageWords)
+		copy(words, p.pages[out[i].Page])
+		out[i].Words = words
+	}
+	return out
+}
+
+// load restores the paged store from a snapshot.
+func (p *PrivMem) load(pages []PrivPage) {
+	for _, pg := range pages {
+		words := make([]uint64, privPageWords)
+		copy(words, pg.Words)
+		p.pages[pg.Page] = words
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"memsim/internal/machine"
+)
+
+// Status is a journal entry's lifecycle state.
+type Status string
+
+// Journal statuses.
+const (
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// JournalEntry is one line of a sweep journal: a run began, completed
+// (with its full result and checksum), or failed. Entries carry no
+// timestamps so journals from identical sweeps are byte-identical.
+type JournalEntry struct {
+	Key      string          `json:"key"`
+	Spec     RunSpec         `json:"spec"`
+	Status   Status          `json:"status"`
+	Checksum string          `json:"checksum,omitempty"`
+	Result   *machine.Result `json:"result,omitempty"`
+	Err      string          `json:"error,omitempty"`
+}
+
+// Journal is an append-only JSONL manifest of simulation runs. Every
+// append is flushed and fsynced before returning, so a crash loses at
+// most the line being written — which ReplayJournal tolerates.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenJournal opens (creating if needed) a journal for appending,
+// creating the parent directory first.
+func OpenJournal(path string) (*Journal, error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("experiments: creating journal directory: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: opening journal: %w", err)
+	}
+	return &Journal{f: f}, nil
+}
+
+// Append writes one entry as a JSON line and syncs it to disk.
+func (j *Journal) Append(e JournalEntry) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("experiments: encoding journal entry: %w", err)
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("experiments: appending journal entry: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("experiments: syncing journal: %w", err)
+	}
+	return nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// ReplayJournal reads a journal back. A malformed or truncated final
+// line — the signature of a crash mid-append — is silently dropped; a
+// malformed line anywhere else is real corruption and an error. A
+// missing file replays as empty.
+func ReplayJournal(path string) ([]JournalEntry, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: opening journal: %w", err)
+	}
+	defer f.Close()
+
+	var entries []JournalEntry
+	badLine := 0 // 1-based line number of the first malformed line
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		if badLine != 0 {
+			// Valid data after a malformed line: not a truncated tail.
+			return nil, fmt.Errorf("experiments: journal %s corrupt at line %d", path, badLine)
+		}
+		var e JournalEntry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			badLine = line
+			continue
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: reading journal: %w", err)
+	}
+	return entries, nil
+}

@@ -22,6 +22,13 @@ delay %d). Regenerate with:
 
     go run ./cmd/sweep -all -preset %s -md EXPERIMENTS.md
 
+Long sweeps are crash-tolerant: add `+"`-state DIR`"+` to journal every
+run and checkpoint in-flight machines, then `+"`-resume`"+` to continue
+after an interruption — the resumed report is byte-identical to an
+uninterrupted one. `+"`-ckpt-every`"+`, `+"`-timeout`"+`, `+"`-retries`"+`
+and `+"`-backoff`"+` tune checkpoint cadence and per-run resilience
+(README flag table; DESIGN.md §10).
+
 Generated %s. Absolute cycle counts are not comparable to the paper's
 (different substrate and scaled data sets — see DESIGN.md §2); the
 claims checked here are the paper's qualitative and ordering results.

@@ -1,13 +1,20 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
+	"time"
 
 	"memsim/internal/consistency"
 	"memsim/internal/machine"
 	"memsim/internal/metrics"
+	"memsim/internal/robust"
 	"memsim/internal/workloads"
 )
 
@@ -38,6 +45,17 @@ type RunSpec struct {
 	RelaxSched workloads.RelaxSchedule
 }
 
+// CheckpointPolicy makes fresh runs crash-tolerant: every Every cycles
+// of simulated time the machine's complete state is written (atomically)
+// to a per-run snapshot file under Dir, and a run finding a valid
+// snapshot for its key resumes from it instead of starting over. A
+// corrupt, stale or incompatible snapshot falls back to a fresh run.
+// Snapshot files are removed when their run completes.
+type CheckpointPolicy struct {
+	Dir   string
+	Every uint64 // simulated cycles between checkpoints; 0 checkpoints only on cancellation
+}
+
 // Runner executes simulations for a parameter preset, memoizing
 // results so baselines shared between figures run once.
 //
@@ -52,6 +70,33 @@ type Runner struct {
 	// collector; the sink receives it together with the run's result.
 	// Memoized recalls do not re-invoke the sink.
 	MetricsSink func(desc string, res machine.Result, mc *metrics.Collector)
+
+	// BaseCtx, when non-nil, cancels every run when it is canceled
+	// (e.g. from a signal handler). A canceled run fails with a
+	// Canceled SimError that unwraps to the context error.
+	BaseCtx context.Context
+	// Timeout, when nonzero, bounds each simulation attempt in
+	// wall-clock time; a timed-out attempt is retryable.
+	Timeout time.Duration
+	// Retries is how many times a failed run is re-attempted. Only
+	// transient failures retry: wall-clock timeouts and Stall /
+	// EventLimit / Deadlock simulation errors. Protocol, invariant and
+	// program errors, workload validation failures, and BaseCtx
+	// cancellation never retry.
+	Retries int
+	// Backoff is the wait before the first retry; it doubles per
+	// attempt. Zero retries immediately.
+	Backoff time.Duration
+	// Ckpt enables periodic checkpointing and resume (zero disables).
+	Ckpt CheckpointPolicy
+
+	// Lifecycle hooks for journaling orchestrators; all may be nil.
+	// Keys are stable per spec (see Key). Hooks for one run are called
+	// exactly once per Run-level execution (retries do not re-fire
+	// OnStart), and never for memoized recalls.
+	OnStart   func(key string, spec RunSpec)
+	OnResult  func(key string, spec RunSpec, res machine.Result)
+	OnFailure func(key string, spec RunSpec, err error)
 
 	mu       sync.Mutex
 	cache    map[RunSpec]machine.Result
@@ -109,17 +154,68 @@ func (r *Runner) workload(s RunSpec) workloads.Workload {
 	panic(fmt.Sprintf("experiments: unknown benchmark %q", s.Bench))
 }
 
-// Run executes (or recalls) one configuration, validating the
-// workload's result.
-func (r *Runner) Run(s RunSpec) (machine.Result, error) {
+// normalize rewrites explicit preset defaults to zero so memoization
+// (and journal keys) unify equivalent specs.
+func (r *Runner) normalize(s RunSpec) RunSpec {
 	p := r.Params
-	// Normalize explicit defaults so memoization unifies them.
 	if s.LoadDelay == p.LoadDelay {
 		s.LoadDelay = 0
 	}
 	if s.Procs == p.Procs {
 		s.Procs = 0
 	}
+	return s
+}
+
+// Key returns the stable identifier journals and checkpoints use for a
+// spec, e.g. "Gauss/SC1/cache4K/line8".
+func (r *Runner) Key(s RunSpec) string { return describe(r.normalize(s)) }
+
+// Build constructs a fresh machine for a spec with its workload set up
+// but not yet run. Callers drive the simulation themselves — e.g. the
+// snapshot property tests, which pause mid-run via machine.RunControl.
+// The machine is not memoized and does not pass through retry or
+// checkpoint policy.
+func (r *Runner) Build(s RunSpec) (*machine.Machine, error) {
+	s = r.normalize(s)
+	w := r.workload(s)
+	m, _, err := r.build(s, w)
+	if err != nil {
+		return nil, err
+	}
+	if w.Setup != nil {
+		w.Setup(m.Shared())
+	}
+	return m, nil
+}
+
+// Seed preloads the memoization cache from replayed journal entries,
+// so a resumed sweep recalls completed runs instead of re-simulating
+// them. Entries whose embedded result does not reproduce its recorded
+// checksum are ignored (a corrupt journal line degrades to a rerun,
+// never to a wrong result). It returns how many results were loaded.
+func (r *Runner) Seed(entries []JournalEntry) int {
+	n := 0
+	for i := range entries {
+		e := &entries[i]
+		if e.Status != StatusDone || e.Result == nil || e.Result.Checksum() != e.Checksum {
+			continue
+		}
+		s := r.normalize(e.Spec)
+		r.mu.Lock()
+		if _, ok := r.cache[s]; !ok {
+			r.cache[s] = *e.Result
+			n++
+		}
+		r.mu.Unlock()
+	}
+	return n
+}
+
+// Run executes (or recalls) one configuration, validating the
+// workload's result.
+func (r *Runner) Run(s RunSpec) (machine.Result, error) {
+	s = r.normalize(s)
 	for {
 		r.mu.Lock()
 		if res, ok := r.cache[s]; ok {
@@ -151,10 +247,95 @@ func (r *Runner) Run(s RunSpec) (machine.Result, error) {
 	return res, err
 }
 
-// execute performs one fresh simulation run for a normalized spec.
+// execute performs one simulation run for a normalized spec, with
+// retry/backoff around individual attempts and lifecycle hooks around
+// the whole execution.
 func (r *Runner) execute(s RunSpec) (machine.Result, error) {
+	key := describe(s)
+	if r.OnStart != nil {
+		r.OnStart(key, s)
+	}
+	var res machine.Result
+	var err error
+	for attempt := 0; ; attempt++ {
+		res, err = r.attempt(s, key)
+		if err == nil {
+			break
+		}
+		if attempt >= r.Retries || !retryable(err) {
+			break
+		}
+		wait := r.Backoff << attempt
+		r.logf("  retrying %s in %v (attempt %d/%d): %v\n", key, wait, attempt+1, r.Retries, err)
+		if !r.sleep(wait) {
+			break // canceled while backing off
+		}
+	}
+	if err != nil {
+		if r.OnFailure != nil {
+			r.OnFailure(key, s, err)
+		}
+		return machine.Result{}, err
+	}
+	if r.OnResult != nil {
+		r.OnResult(key, s, res)
+	}
+	return res, nil
+}
+
+// retryable reports whether a failed attempt is worth re-running:
+// wall-clock timeouts (the machine resumes from its final checkpoint)
+// and liveness failures. Determinism bugs, protocol slips and workload
+// validation failures reproduce exactly, so retrying them is noise.
+func retryable(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	var se *robust.SimError
+	if errors.As(err, &se) {
+		switch se.Kind {
+		case robust.Stall, robust.EventLimit, robust.Deadlock:
+			return true
+		}
+	}
+	return false
+}
+
+// sleep waits d, returning early (false) if BaseCtx is canceled.
+func (r *Runner) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return r.BaseCtx == nil || r.BaseCtx.Err() == nil
+	}
+	if r.BaseCtx == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-r.BaseCtx.Done():
+		return false
+	}
+}
+
+// ckptPath returns the snapshot file for a key, or "" when
+// checkpointing is disabled.
+func (r *Runner) ckptPath(key string) string {
+	if r.Ckpt.Dir == "" {
+		return ""
+	}
+	name := strings.NewReplacer("/", "_", " ", "").Replace(key)
+	return filepath.Join(r.Ckpt.Dir, name+".mcsp")
+}
+
+// build constructs the machine (and optional collector) for a spec.
+func (r *Runner) build(s RunSpec, w workloads.Workload) (*machine.Machine, *metrics.Collector, error) {
 	p := r.Params
-	w := r.workload(s)
 	delay := s.LoadDelay
 	if delay == 0 {
 		delay = p.LoadDelay
@@ -170,29 +351,89 @@ func (r *Runner) execute(s RunSpec) (machine.Result, error) {
 	}
 	m, err := machine.New(cfg, w.Programs)
 	if err != nil {
-		return machine.Result{}, fmt.Errorf("experiments: %s: %w", describe(s), err)
+		return nil, nil, err
 	}
 	var mc *metrics.Collector
 	if r.MetricsSink != nil {
 		mc = metrics.New()
 		m.AttachMetrics(mc)
 	}
-	if w.Setup != nil {
+	return m, mc, nil
+}
+
+// attempt performs one fresh simulation attempt for a normalized spec,
+// resuming from a valid checkpoint when one exists.
+func (r *Runner) attempt(s RunSpec, key string) (machine.Result, error) {
+	p := r.Params
+	w := r.workload(s)
+	m, mc, err := r.build(s, w)
+	if err != nil {
+		return machine.Result{}, fmt.Errorf("experiments: %s: %w", key, err)
+	}
+
+	ckpt := r.ckptPath(key)
+	restored := false
+	if ckpt != "" {
+		if snap, rerr := machine.ReadSnapshotFile(ckpt); rerr == nil {
+			if lerr := m.Restore(snap); lerr != nil {
+				// Stale or incompatible snapshot: rebuild untouched and
+				// fall back to a fresh run.
+				r.logf("  checkpoint for %s unusable (%v); rerunning\n", key, lerr)
+				if m, mc, err = r.build(s, w); err != nil {
+					return machine.Result{}, fmt.Errorf("experiments: %s: %w", key, err)
+				}
+			} else {
+				restored = true
+				r.logf("  resumed %s from checkpoint at cycle %d\n", key, m.Eng.Now())
+			}
+		} else if !os.IsNotExist(rerr) {
+			r.logf("  checkpoint for %s unreadable (%v); rerunning\n", key, rerr)
+		}
+	}
+	if !restored && w.Setup != nil {
 		w.Setup(m.Shared())
 	}
-	res, err := m.Run(p.MaxEvents)
+
+	ctx := r.BaseCtx
+	if r.Timeout > 0 {
+		base := ctx
+		if base == nil {
+			base = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(base, r.Timeout)
+		defer cancel()
+	}
+	rc := machine.RunControl{MaxEvents: p.MaxEvents, Ctx: ctx}
+	if ckpt != "" {
+		// With a checkpoint path, a canceled or timed-out run always
+		// saves a final snapshot, so resume loses no progress even when
+		// CheckpointEvery is zero.
+		rc.CheckpointEvery = r.Ckpt.Every
+		rc.Checkpoint = func() error {
+			snap, serr := m.Snapshot()
+			if serr != nil {
+				return serr
+			}
+			return machine.WriteSnapshotFile(ckpt, snap)
+		}
+	}
+	res, err := m.RunControlled(rc)
 	if err != nil {
-		return machine.Result{}, fmt.Errorf("experiments: %s: %w", describe(s), err)
+		return machine.Result{}, fmt.Errorf("experiments: %s: %w", key, err)
 	}
 	if w.Validate != nil {
 		if err := w.Validate(m.Shared()); err != nil {
-			return machine.Result{}, fmt.Errorf("experiments: %s: %w", describe(s), err)
+			return machine.Result{}, fmt.Errorf("experiments: %s: %w", key, err)
 		}
 	}
+	if ckpt != "" {
+		os.Remove(ckpt) // the run is done; its checkpoint is spent
+	}
 	r.logf("  ran %-40s %12d cycles  (hit %5.1f%%)\n",
-		describe(s), res.Cycles, 100*res.HitRate())
+		key, res.Cycles, 100*res.HitRate())
 	if r.MetricsSink != nil {
-		r.MetricsSink(describe(s), res, mc)
+		r.MetricsSink(key, res, mc)
 	}
 	return res, nil
 }

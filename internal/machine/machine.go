@@ -10,6 +10,8 @@
 package machine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"memsim/internal/cache"
@@ -149,9 +151,18 @@ type Machine struct {
 
 	halted int
 	tracer *trace.Recorder
+	mc     *metrics.Collector
 
 	words    int       // line size in 8-byte words (data-tail latency)
 	tailFree *tailRecv // free list of pooled data-tail delivery events
+
+	faults     *robust.Injector
+	watchdog   *robust.Watchdog
+	watchdogFn func() // self-rescheduling tagged watchdog tick
+	checkFn    func() // self-rescheduling tagged invariant-check tick
+
+	started  bool // watchdog/checker armed and processors started
+	progHash [32]byte
 }
 
 // tailRecv is a pooled one-shot event delivering a data-carrying
@@ -216,9 +227,9 @@ func New(cfg Config, progs [][]isa.Inst) (*Machine, error) {
 		shared: make([]uint64, cfg.SharedWords),
 	}
 	m.words = cfg.LineSize / 8
-	var faults *robust.Injector
+	m.progHash = hashPrograms(progs)
 	if cfg.Faults.Enabled() {
-		faults = robust.NewInjector(cfg.Faults)
+		m.faults = robust.NewInjector(cfg.Faults)
 	}
 
 	// Response network: memory -> caches. Data messages bind/install
@@ -229,7 +240,8 @@ func New(cfg Config, progs [][]isa.Inst) (*Machine, error) {
 			Src: nm.Src, Dst: dst, What: msg.Kind.String(), Addr: msg.Line})
 		m.caches[dst].Receive(msg)
 	})
-	m.respNet.SetFaults(faults)
+	m.respNet.SetUnit(netUnitResp)
+	m.respNet.SetFaults(m.faults)
 	// Request network: caches -> memory. Data-carrying messages reach
 	// the module when their tail arrives.
 	m.reqNet = network.New(&m.Eng, cfg.Procs, cfg.NetBuf, func(dst int, nm network.Message) {
@@ -238,12 +250,13 @@ func New(cfg Config, progs [][]isa.Inst) (*Machine, error) {
 		m.tracer.Record(trace.Event{Cycle: m.Eng.Now(), Kind: trace.ReqRecv,
 			Src: src, Dst: dst, What: msg.Kind.String(), Addr: msg.Line})
 		if msg.Kind.CarriesData() {
-			m.Eng.After(sim.Cycle(m.words), m.allocTail(dst, src, msg).fn)
+			m.Eng.AfterEvent(sim.Cycle(m.words), m.allocTail(dst, src, msg).fn, tailDesc(dst, src, msg))
 		} else {
 			m.modules[dst].Receive(src, msg)
 		}
 	})
-	m.reqNet.SetFaults(faults)
+	m.reqNet.SetUnit(netUnitReq)
+	m.reqNet.SetFaults(m.faults)
 
 	m.modules = make([]*memory.Module, cfg.Procs)
 	for i := 0; i < cfg.Procs; i++ {
@@ -318,6 +331,7 @@ func (m *Machine) AttachMetrics(mc *metrics.Collector) {
 	if mc == nil {
 		return
 	}
+	m.mc = mc
 	mc.EnsureProcs(m.cfg.Procs)
 	for i := 0; i < m.cfg.Procs; i++ {
 		m.cpus[i].SetMetrics(mc)
@@ -389,9 +403,42 @@ func (m *Machine) Done() bool { return m.halted == m.cfg.Procs }
 // a quiesce deadlock — surfaces as a *robust.SimError with the
 // machine's diagnostic dump attached (see Diagnostics), never as a
 // panic escaping Run.
-func (m *Machine) Run(maxEvents uint64) (res Result, err error) {
-	if maxEvents == 0 {
-		maxEvents = 5_000_000_000
+func (m *Machine) Run(maxEvents uint64) (Result, error) {
+	return m.RunControlled(RunControl{MaxEvents: maxEvents})
+}
+
+// ErrPaused is returned by RunControlled when the run stopped at the
+// requested Until cycle with processors still running. The machine is
+// in a consistent between-events state, ready to Snapshot or resume
+// with another RunControlled call.
+var ErrPaused = errors.New("machine: run paused")
+
+// RunControl parameterizes a controlled run.
+type RunControl struct {
+	// MaxEvents bounds the run in executed events (0: generous default).
+	MaxEvents uint64
+	// Ctx, when non-nil, is polled between events (about every 1024);
+	// on cancellation the run stops with a Canceled SimError that
+	// unwraps to the context error. A final checkpoint is taken first
+	// if Checkpoint is set.
+	Ctx context.Context
+	// Until, when nonzero, pauses the run once the simulated clock
+	// reaches it; RunControlled returns ErrPaused.
+	Until sim.Cycle
+	// CheckpointEvery, with Checkpoint, invokes the callback each time
+	// the clock advances that many cycles (the machine is consistent
+	// and snapshottable inside the callback). A checkpoint error stops
+	// the run and is returned.
+	CheckpointEvery sim.Cycle
+	Checkpoint      func() error
+}
+
+// RunControlled executes the machine with cooperative pause,
+// cancellation and periodic-checkpoint hooks. A restored machine
+// continues exactly where its snapshot was taken.
+func (m *Machine) RunControlled(rc RunControl) (res Result, err error) {
+	if rc.MaxEvents == 0 {
+		rc.MaxEvents = 5_000_000_000
 	}
 	defer func() {
 		r := recover()
@@ -407,32 +454,77 @@ func (m *Machine) Run(maxEvents uint64) (res Result, err error) {
 		}
 		res, err = Result{}, se
 	}()
-	if m.cfg.StallCycles > 0 {
-		m.startWatchdog()
+	if !m.started {
+		m.started = true
+		if m.cfg.StallCycles > 0 {
+			m.startWatchdog()
+		}
+		if m.cfg.CheckEvery > 0 {
+			m.startChecker()
+		}
+		for _, c := range m.cpus {
+			c.Start()
+		}
 	}
-	if m.cfg.CheckEvery > 0 {
-		m.Eng.Every(sim.Cycle(m.cfg.CheckEvery), func() bool {
-			if m.Done() {
-				return false
-			}
-			if err := m.CheckNow(); err != nil {
-				robust.Raise(err)
-			}
+	var ckptErr error
+	var nextCkpt sim.Cycle
+	if rc.CheckpointEvery > 0 && rc.Checkpoint != nil {
+		nextCkpt = m.Eng.Now() + rc.CheckpointEvery
+	}
+	var polled uint64
+	canceled := false
+	done := func() bool {
+		if m.Done() {
 			return true
-		})
+		}
+		if rc.Until > 0 && m.Eng.Now() >= rc.Until {
+			return true
+		}
+		if rc.Ctx != nil && m.Eng.Steps()-polled >= ctxPollEvents {
+			polled = m.Eng.Steps()
+			if rc.Ctx.Err() != nil {
+				canceled = true
+				return true
+			}
+		}
+		if nextCkpt > 0 && m.Eng.Now() >= nextCkpt {
+			nextCkpt = m.Eng.Now() + rc.CheckpointEvery
+			if e := rc.Checkpoint(); e != nil {
+				ckptErr = e
+				return true
+			}
+		}
+		return false
 	}
-	for _, c := range m.cpus {
-		c.Start()
-	}
-	if !m.Eng.RunLimit(m.Done, maxEvents) {
+	if !m.Eng.RunLimit(done, rc.MaxEvents) {
 		return Result{}, &robust.SimError{
 			Kind: robust.EventLimit, Component: "machine", Unit: -1, Cycle: m.Eng.Now(),
 			Detail: fmt.Sprintf("run exceeded %d events (halted %d/%d processors)",
-				maxEvents, m.halted, m.cfg.Procs),
+				rc.MaxEvents, m.halted, m.cfg.Procs),
 			Dump: m.Diagnostics(diagTraceEvents),
 		}
 	}
+	if canceled {
+		if rc.Checkpoint != nil {
+			if e := rc.Checkpoint(); e != nil {
+				return Result{}, fmt.Errorf("machine: final checkpoint after cancellation: %w", e)
+			}
+		}
+		return Result{}, &robust.SimError{
+			Kind: robust.Canceled, Component: "machine", Unit: -1, Cycle: m.Eng.Now(),
+			Detail: fmt.Sprintf("run canceled (%v; halted %d/%d processors)",
+				rc.Ctx.Err(), m.halted, m.cfg.Procs),
+			Err:  rc.Ctx.Err(),
+			Dump: m.Diagnostics(diagTraceEvents),
+		}
+	}
+	if ckptErr != nil {
+		return Result{}, fmt.Errorf("machine: checkpoint at cycle %d: %w", m.Eng.Now(), ckptErr)
+	}
 	if !m.Done() {
+		if rc.Until > 0 && m.Eng.Now() >= rc.Until {
+			return Result{}, ErrPaused
+		}
 		return Result{}, &robust.SimError{
 			Kind: robust.Deadlock, Component: "machine", Unit: -1, Cycle: m.Eng.Now(),
 			Detail: fmt.Sprintf("engine quiesced with %d/%d processors halted",
@@ -443,11 +535,16 @@ func (m *Machine) Run(maxEvents uint64) (res Result, err error) {
 	return m.result(), nil
 }
 
-// startWatchdog arms the stall watchdog: if no processor retires an
-// instruction for a full StallCycles window, the run fails with a
-// Stall error carrying a diagnostic dump.
-func (m *Machine) startWatchdog() {
-	w := &robust.Watchdog{
+// ctxPollEvents is how many engine events may execute between context
+// cancellation checks: cheap enough to be free, frequent enough that a
+// signal stops a run within microseconds of real time.
+const ctxPollEvents = 1024
+
+// initWatchdog builds the watchdog and its self-rescheduling tagged
+// tick without scheduling anything (the restore path resolves a saved
+// tick against watchdogFn).
+func (m *Machine) initWatchdog() {
+	m.watchdog = &robust.Watchdog{
 		Window:   sim.Cycle(m.cfg.StallCycles),
 		Progress: m.totalInstructions,
 		Done:     m.Done,
@@ -459,7 +556,43 @@ func (m *Machine) startWatchdog() {
 			})
 		},
 	}
-	w.Start(&m.Eng)
+	m.watchdogFn = func() {
+		if m.watchdog.Check() {
+			m.Eng.AfterEvent(m.watchdog.Window, m.watchdogFn, machDesc(machEvWatchdog))
+		}
+	}
+}
+
+// startWatchdog arms the stall watchdog: if no processor retires an
+// instruction for a full StallCycles window, the run fails with a
+// Stall error carrying a diagnostic dump. The tick is a tagged event
+// so it survives snapshots.
+func (m *Machine) startWatchdog() {
+	m.initWatchdog()
+	m.watchdog.Arm()
+	m.Eng.AfterEvent(m.watchdog.Window, m.watchdogFn, machDesc(machEvWatchdog))
+}
+
+// initChecker builds the periodic invariant-check tick without
+// scheduling it (see initWatchdog).
+func (m *Machine) initChecker() {
+	interval := sim.Cycle(m.cfg.CheckEvery)
+	m.checkFn = func() {
+		if m.Done() {
+			return
+		}
+		if err := m.CheckNow(); err != nil {
+			robust.Raise(err)
+		}
+		m.Eng.AfterEvent(interval, m.checkFn, machDesc(machEvCheck))
+	}
+}
+
+// startChecker schedules the periodic coherence invariant check as a
+// tagged event.
+func (m *Machine) startChecker() {
+	m.initChecker()
+	m.Eng.AfterEvent(sim.Cycle(m.cfg.CheckEvery), m.checkFn, machDesc(machEvCheck))
 }
 
 func (m *Machine) totalInstructions() uint64 {

@@ -1,0 +1,371 @@
+package machine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"memsim/internal/consistency"
+	"memsim/internal/isa"
+	"memsim/internal/robust"
+)
+
+// snapCfg is a small configuration that still exercises every
+// subsystem: misses, evictions, MSHR pressure, network back-pressure.
+func snapCfg(model consistency.Model) Config {
+	return Config{Procs: 4, Model: model, CacheSize: 1024, LineSize: 16, SharedWords: 1 << 14}
+}
+
+// pauseAt runs a fresh machine until the pause cycle, requiring that
+// the run actually pauses (the caller picks cycles below the full run
+// length).
+func pauseAt(t *testing.T, m *Machine, at uint64) {
+	t.Helper()
+	_, err := m.RunControlled(RunControl{Until: at})
+	if !errors.Is(err, ErrPaused) {
+		t.Fatalf("run to cycle %d: want ErrPaused, got %v", at, err)
+	}
+}
+
+// roundTrip snapshots m through a file and restores into a fresh
+// machine built by build.
+func roundTrip(t *testing.T, m *Machine, build func() *Machine) *Machine {
+	t.Helper()
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "snap.mcsp")
+	if err := WriteSnapshotFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	read, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := build()
+	if err := m2.Restore(read); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	return m2
+}
+
+// TestSnapshotRoundTripAllModels is the central property: for every
+// consistency model, pausing a run at an arbitrary cycle, serializing
+// the complete machine state through a file, restoring into a fresh
+// machine and continuing must reproduce the uninterrupted run's Result
+// checksum bit-for-bit.
+func TestSnapshotRoundTripAllModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	for seed := int64(1); seed <= 2; seed++ {
+		progs, _, _ := genRaceFreePrograms(rand.New(rand.NewSource(seed)), 4)
+		for _, model := range consistency.Models {
+			cfg := snapCfg(model)
+			build := func() *Machine {
+				progsCopy := make([][]isa.Inst, len(progs))
+				copy(progsCopy, progs)
+				m, err := New(cfg, progsCopy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return m
+			}
+			full, err := build().Run(0)
+			if err != nil {
+				t.Fatalf("seed %d %v: uninterrupted run: %v", seed, model, err)
+			}
+			want := full.Checksum()
+
+			// Three random pause points strictly inside the run.
+			for trial := 0; trial < 3; trial++ {
+				at := 1 + uint64(rng.Int63n(int64(full.Cycles-1)))
+				m1 := build()
+				pauseAt(t, m1, at)
+				m2 := roundTrip(t, m1, build)
+				res, err := m2.Run(0)
+				if err != nil {
+					t.Fatalf("seed %d %v: resumed run (paused at %d): %v", seed, model, at, err)
+				}
+				if got := res.Checksum(); got != want {
+					t.Errorf("seed %d %v: checksum after restore at cycle %d drifted\n  want %s\n  got  %s",
+						seed, model, at, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotChain restores through several successive pauses — each
+// continuation is itself snapshotted — and still converges on the
+// uninterrupted checksum, proving restore composes.
+func TestSnapshotChain(t *testing.T) {
+	progs, _, _ := genRaceFreePrograms(rand.New(rand.NewSource(5)), 4)
+	cfg := snapCfg(consistency.WO1)
+	build := func() *Machine {
+		progsCopy := make([][]isa.Inst, len(progs))
+		copy(progsCopy, progs)
+		m, err := New(cfg, progsCopy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	full, err := build().Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := build()
+	for _, frac := range []uint64{5, 3, 2} { // pause at 1/5, 1/3, 1/2 of the run
+		at := uint64(full.Cycles) / frac
+		if m.Eng.Now() >= at {
+			continue
+		}
+		pauseAt(t, m, at)
+		m = roundTrip(t, m, build)
+	}
+	res, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checksum() != full.Checksum() {
+		t.Errorf("chained restore checksum drifted\n  want %s\n  got  %s", full.Checksum(), res.Checksum())
+	}
+}
+
+// TestSnapshotSameMachineResume pins that pausing and continuing the
+// SAME machine (no serialization) is also bit-identical, isolating the
+// pause mechanism from the snapshot encoding.
+func TestSnapshotSameMachineResume(t *testing.T) {
+	progs, _, _ := genRaceFreePrograms(rand.New(rand.NewSource(9)), 4)
+	cfg := snapCfg(consistency.SC1)
+	progsCopy := func() [][]isa.Inst {
+		c := make([][]isa.Inst, len(progs))
+		copy(c, progs)
+		return c
+	}
+	m1, err := New(cfg, progsCopy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := m1.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(cfg, progsCopy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pauseAt(t, m2, uint64(full.Cycles)/2)
+	res, err := m2.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checksum() != full.Checksum() {
+		t.Errorf("same-machine resume checksum drifted\n  want %s\n  got  %s", full.Checksum(), res.Checksum())
+	}
+}
+
+// TestSnapshotWithWatchdogCheckerAndFaults round-trips a run with the
+// stall watchdog, the periodic invariant checker and network fault
+// injection all enabled: the watchdog window baseline, the checker
+// cadence and the injector's stream position must all survive the
+// snapshot (any slip would shift fault delays and change the checksum).
+func TestSnapshotWithWatchdogCheckerAndFaults(t *testing.T) {
+	progs, _, _ := genRaceFreePrograms(rand.New(rand.NewSource(11)), 4)
+	for _, model := range consistency.Models {
+		cfg := snapCfg(model)
+		cfg.StallCycles = 50_000
+		cfg.CheckEvery = 137
+		cfg.Faults = robust.Faults{Seed: 3, DelayProb: 0.15, MaxExtraDelay: 11}
+		build := func() *Machine {
+			progsCopy := make([][]isa.Inst, len(progs))
+			copy(progsCopy, progs)
+			m, err := New(cfg, progsCopy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}
+		full, err := build().Run(0)
+		if err != nil {
+			t.Fatalf("%v: faulted run: %v", model, err)
+		}
+		for _, frac := range []uint64{4, 2} {
+			m1 := build()
+			pauseAt(t, m1, uint64(full.Cycles)/frac)
+			m2 := roundTrip(t, m1, build)
+			res, err := m2.Run(0)
+			if err != nil {
+				t.Fatalf("%v: resumed faulted run: %v", model, err)
+			}
+			if res.Checksum() != full.Checksum() {
+				t.Errorf("%v: faulted round-trip checksum drifted at 1/%d\n  want %s\n  got  %s",
+					model, frac, full.Checksum(), res.Checksum())
+			}
+		}
+	}
+}
+
+// TestSnapshotFileCorruption pins the file format's failure modes:
+// corruption, truncation, bad magic and version skew are all detected
+// before decoding, and a missing file errors cleanly.
+func TestSnapshotFileCorruption(t *testing.T) {
+	progs, _, _ := genRaceFreePrograms(rand.New(rand.NewSource(2)), 4)
+	m, err := New(snapCfg(consistency.SC1), progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pauseAt(t, m, 500)
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "good.mcsp")
+	if err := WriteSnapshotFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutate := func(name string, alter func([]byte) []byte) {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, alter(append([]byte(nil), good...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadSnapshotFile(p); err == nil {
+			t.Errorf("%s: corrupt snapshot decoded without error", name)
+		}
+	}
+	mutate("flipped.mcsp", func(b []byte) []byte { b[len(b)/2] ^= 0x40; return b })
+	mutate("truncated.mcsp", func(b []byte) []byte { return b[:len(b)-7] })
+	mutate("magic.mcsp", func(b []byte) []byte { b[0] = 'X'; return b })
+	mutate("version.mcsp", func(b []byte) []byte { b[4] = 99; return b })
+	if _, err := ReadSnapshotFile(filepath.Join(dir, "missing.mcsp")); err == nil {
+		t.Error("missing snapshot file read without error")
+	}
+}
+
+// TestRestoreValidation pins Restore's compatibility checks: a used
+// machine, a different configuration and different programs are all
+// rejected.
+func TestRestoreValidation(t *testing.T) {
+	progs, _, _ := genRaceFreePrograms(rand.New(rand.NewSource(3)), 4)
+	cfg := snapCfg(consistency.SC1)
+	m, err := New(cfg, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pauseAt(t, m, 400)
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := m.Restore(snap); err == nil {
+		t.Error("Restore into a machine that has already run succeeded")
+	}
+	cfg2 := cfg
+	cfg2.LineSize = 32
+	cfg2.CacheSize = 2048
+	if m2, err := New(cfg2, progs); err != nil {
+		t.Fatal(err)
+	} else if err := m2.Restore(snap); err == nil {
+		t.Error("Restore into a machine with a different config succeeded")
+	}
+	progs2, _, _ := genRaceFreePrograms(rand.New(rand.NewSource(77)), 4)
+	if m3, err := New(cfg, progs2); err != nil {
+		t.Fatal(err)
+	} else if err := m3.Restore(snap); err == nil {
+		t.Error("Restore into a machine with different programs succeeded")
+	}
+}
+
+// TestRunControlledCancellation pins the graceful-interruption
+// contract: a canceled context stops the run with a Canceled SimError
+// that unwraps to the context error, and a final checkpoint is taken.
+func TestRunControlledCancellation(t *testing.T) {
+	progs, _, _ := genRaceFreePrograms(rand.New(rand.NewSource(4)), 4)
+	m, err := New(snapCfg(consistency.WO2), progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ckpts := 0
+	_, err = m.RunControlled(RunControl{Ctx: ctx, Checkpoint: func() error { ckpts++; return nil }})
+	var se *robust.SimError
+	if !errors.As(err, &se) || se.Kind != robust.Canceled {
+		t.Fatalf("canceled run: want Canceled SimError, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("Canceled SimError does not unwrap to context.Canceled")
+	}
+	if se.Dump == "" {
+		t.Error("Canceled SimError carries no diagnostic dump")
+	}
+	if ckpts != 1 {
+		t.Errorf("final checkpoint on cancellation ran %d times, want 1", ckpts)
+	}
+}
+
+// TestPeriodicCheckpointCallback verifies the checkpoint cadence fires
+// repeatedly and that a mid-run checkpoint taken by the callback itself
+// restores to the uninterrupted checksum.
+func TestPeriodicCheckpointCallback(t *testing.T) {
+	progs, _, _ := genRaceFreePrograms(rand.New(rand.NewSource(6)), 4)
+	cfg := snapCfg(consistency.SC2)
+	build := func() *Machine {
+		progsCopy := make([][]isa.Inst, len(progs))
+		copy(progsCopy, progs)
+		m, err := New(cfg, progsCopy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	full, err := build().Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := build()
+	var snaps []*Snapshot
+	res, err := m.RunControlled(RunControl{
+		CheckpointEvery: uint64(full.Cycles) / 5,
+		Checkpoint: func() error {
+			s, err := m.Snapshot()
+			if err != nil {
+				return err
+			}
+			snaps = append(snaps, s)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checksum() != full.Checksum() {
+		t.Errorf("checkpointed run checksum drifted (checkpoint hooks must not perturb timing)")
+	}
+	if len(snaps) < 3 {
+		t.Fatalf("expected several periodic checkpoints, got %d", len(snaps))
+	}
+	// Restore from the middle checkpoint and re-converge.
+	m2 := build()
+	if err := m2.Restore(snaps[len(snaps)/2]); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := m2.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Checksum() != full.Checksum() {
+		t.Errorf("restore from periodic checkpoint drifted\n  want %s\n  got  %s", full.Checksum(), res2.Checksum())
+	}
+}

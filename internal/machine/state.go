@@ -1,0 +1,274 @@
+package machine
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"fmt"
+
+	"memsim/internal/cache"
+	"memsim/internal/cpu"
+	"memsim/internal/isa"
+	"memsim/internal/memory"
+	"memsim/internal/metrics"
+	"memsim/internal/network"
+	"memsim/internal/robust"
+	"memsim/internal/sim"
+)
+
+// Event kinds for machine-owned engine events (sim.EventDesc.Kind).
+const (
+	machEvTail     uint8 = iota + 1 // data-tail delivery to a module
+	machEvWatchdog                  // stall-watchdog window tick
+	machEvCheck                     // coherence invariant check tick
+)
+
+// Network units: EventDesc.Unit distinguishes the two Omega networks.
+const (
+	netUnitReq  int32 = 0
+	netUnitResp int32 = 1
+)
+
+func machDesc(kind uint8) sim.EventDesc {
+	return sim.EventDesc{Comp: sim.CompMachine, Kind: kind, Unit: -1}
+}
+
+// tailDesc describes a pending data-tail delivery: the message is tiny
+// (kind + line), so the descriptor carries it whole.
+func tailDesc(dst, src int, msg memory.Msg) sim.EventDesc {
+	d := machDesc(machEvTail)
+	d.A = msg.Line
+	d.B = uint64(msg.Kind) | uint64(src)<<8 | uint64(dst)<<32
+	return d
+}
+
+// hashPrograms fingerprints the per-processor programs so a snapshot
+// can only be restored into a machine running the same code.
+func hashPrograms(progs [][]isa.Inst) [32]byte {
+	h := sha256.New()
+	if err := gob.NewEncoder(h).Encode(progs); err != nil {
+		panic(fmt.Sprintf("machine: hashing programs: %v", err)) // gob on plain structs cannot fail
+	}
+	var sum [32]byte
+	copy(sum[:], h.Sum(nil))
+	return sum
+}
+
+// resolveEvent rebuilds the callback for one saved engine event,
+// dispatching on the owning component class.
+func (m *Machine) resolveEvent(d sim.EventDesc) (func(), error) {
+	switch d.Comp {
+	case sim.CompMachine:
+		switch d.Kind {
+		case machEvTail:
+			msg := memory.Msg{Kind: memory.MsgKind(d.B & 0xff), Line: d.A}
+			src := int(d.B >> 8 & 0xffffff)
+			dst := int(d.B >> 32)
+			if src >= m.cfg.Procs || dst >= m.cfg.Procs {
+				return nil, fmt.Errorf("machine: tail event src %d dst %d out of range", src, dst)
+			}
+			return m.allocTail(dst, src, msg).fn, nil
+		case machEvWatchdog:
+			if m.watchdogFn == nil {
+				return nil, fmt.Errorf("machine: watchdog event with no watchdog configured")
+			}
+			return m.watchdogFn, nil
+		case machEvCheck:
+			if m.checkFn == nil {
+				return nil, fmt.Errorf("machine: invariant-check event with no checker configured")
+			}
+			return m.checkFn, nil
+		}
+		return nil, fmt.Errorf("machine: unknown machine event kind %d", d.Kind)
+	case sim.CompCPU:
+		if int(d.Unit) < 0 || int(d.Unit) >= len(m.cpus) {
+			return nil, fmt.Errorf("machine: cpu event for unit %d", d.Unit)
+		}
+		return m.cpus[d.Unit].RestoreEvent(d)
+	case sim.CompCache:
+		if int(d.Unit) < 0 || int(d.Unit) >= len(m.caches) {
+			return nil, fmt.Errorf("machine: cache event for unit %d", d.Unit)
+		}
+		return m.caches[d.Unit].RestoreEvent(d)
+	case sim.CompModule:
+		if int(d.Unit) < 0 || int(d.Unit) >= len(m.modules) {
+			return nil, fmt.Errorf("machine: module event for unit %d", d.Unit)
+		}
+		return m.modules[d.Unit].RestoreEvent(d)
+	case sim.CompNet:
+		switch d.Unit {
+		case netUnitReq:
+			return m.reqNet.RestoreEvent(d, m.reqSpace)
+		case netUnitResp:
+			return m.respNet.RestoreEvent(d, m.respSpace)
+		}
+		return nil, fmt.Errorf("machine: network event for unit %d", d.Unit)
+	}
+	return nil, fmt.Errorf("machine: event with unknown component class %d", d.Comp)
+}
+
+// reqSpace resolves a request-network space waiter: the only component
+// that ever waits for request-network space at source src is cache
+// src's output drain.
+func (m *Machine) reqSpace(src int) func() { return m.caches[src].DrainFunc() }
+
+// respSpace resolves a response-network space waiter: module src's
+// output drain.
+func (m *Machine) respSpace(src int) func() { return m.modules[src].DrainFunc() }
+
+// Snapshot is the complete serializable state of a machine mid-run:
+// restoring it into a freshly built machine with the same Config and
+// programs continues the run with bit-identical results. Tracers and
+// metrics samplers are re-attached by the restoring process; all
+// accumulated metrics observations travel in the snapshot.
+type Snapshot struct {
+	Cfg      Config
+	ProgHash [32]byte
+
+	Shared  []uint64
+	Halted  int
+	Started bool
+
+	Engine  sim.EngineState
+	CPUs    []cpu.CPUState
+	Caches  []cache.CacheState
+	Modules []memory.ModuleState
+	ReqNet  network.NetState
+	RespNet network.NetState
+
+	HasFaults    bool
+	Faults       robust.InjectorState
+	WatchdogLast uint64
+
+	HasMetrics bool
+	Metrics    metrics.CollectorState
+}
+
+// Snapshot captures the machine's complete state. The machine must be
+// between events: either before Run, inside a RunControl checkpoint
+// callback, or after RunControlled returned (ErrPaused or otherwise).
+func (m *Machine) Snapshot() (*Snapshot, error) {
+	eng, err := m.Eng.Save()
+	if err != nil {
+		return nil, fmt.Errorf("machine: saving engine: %w", err)
+	}
+	s := &Snapshot{
+		Cfg:      m.cfg,
+		ProgHash: m.progHash,
+		Shared:   append([]uint64(nil), m.shared...),
+		Halted:   m.halted,
+		Started:  m.started,
+		Engine:   eng,
+		CPUs:     make([]cpu.CPUState, m.cfg.Procs),
+		Caches:   make([]cache.CacheState, m.cfg.Procs),
+		Modules:  make([]memory.ModuleState, m.cfg.Procs),
+	}
+	for i := 0; i < m.cfg.Procs; i++ {
+		if s.CPUs[i], err = m.cpus[i].Save(); err != nil {
+			return nil, fmt.Errorf("machine: saving cpu %d: %w", i, err)
+		}
+		if s.Caches[i], err = m.caches[i].Save(); err != nil {
+			return nil, fmt.Errorf("machine: saving cache %d: %w", i, err)
+		}
+		s.Modules[i] = m.modules[i].Save()
+	}
+	s.ReqNet = m.reqNet.Save()
+	s.RespNet = m.respNet.Save()
+	if m.faults != nil {
+		s.HasFaults = true
+		s.Faults = m.faults.Save()
+	}
+	if m.watchdog != nil {
+		s.WatchdogLast = m.watchdog.Last()
+	}
+	if m.mc != nil {
+		s.HasMetrics = true
+		s.Metrics = m.mc.Save()
+	}
+	return s, nil
+}
+
+// Restore loads a snapshot into this machine, which must be freshly
+// built by New with the same configuration and programs (Restore
+// verifies both) and not yet run. After Restore, RunControlled
+// continues the interrupted run; the event execution order — and
+// therefore every Result field — is bit-identical to the run the
+// snapshot was taken from.
+func (m *Machine) Restore(s *Snapshot) error {
+	if m.started || m.Eng.Steps() != 0 || m.Eng.Pending() {
+		return fmt.Errorf("machine: Restore on a machine that has already run")
+	}
+	if m.cfg != s.Cfg {
+		return fmt.Errorf("machine: snapshot config %+v does not match machine config %+v", s.Cfg, m.cfg)
+	}
+	if m.progHash != s.ProgHash {
+		return fmt.Errorf("machine: snapshot was taken from different programs")
+	}
+	if len(s.Shared) != len(m.shared) {
+		return fmt.Errorf("machine: snapshot shared image %d words, machine has %d", len(s.Shared), len(m.shared))
+	}
+	if len(s.CPUs) != m.cfg.Procs || len(s.Caches) != m.cfg.Procs || len(s.Modules) != m.cfg.Procs {
+		return fmt.Errorf("machine: snapshot component counts (%d/%d/%d) do not match %d processors",
+			len(s.CPUs), len(s.Caches), len(s.Modules), m.cfg.Procs)
+	}
+	copy(m.shared, s.Shared)
+	m.halted = s.Halted
+
+	// Processors first: awaiting-op links are re-established when the
+	// caches restore their MSHR binders.
+	for i := 0; i < m.cfg.Procs; i++ {
+		if err := m.cpus[i].Load(s.CPUs[i]); err != nil {
+			return fmt.Errorf("machine: restoring cpu %d: %w", i, err)
+		}
+	}
+	for i := 0; i < m.cfg.Procs; i++ {
+		c := m.cpus[i]
+		if err := m.caches[i].Load(s.Caches[i], c.RestoreBinder); err != nil {
+			return fmt.Errorf("machine: restoring cache %d: %w", i, err)
+		}
+	}
+	for i := 0; i < m.cfg.Procs; i++ {
+		if err := m.cpus[i].FinishRestore(); err != nil {
+			return fmt.Errorf("machine: %w", err)
+		}
+	}
+	for i := 0; i < m.cfg.Procs; i++ {
+		if err := m.modules[i].Load(s.Modules[i]); err != nil {
+			return fmt.Errorf("machine: restoring module %d: %w", i, err)
+		}
+	}
+	if err := m.reqNet.Load(s.ReqNet, m.reqSpace); err != nil {
+		return fmt.Errorf("machine: restoring request network: %w", err)
+	}
+	if err := m.respNet.Load(s.RespNet, m.respSpace); err != nil {
+		return fmt.Errorf("machine: restoring response network: %w", err)
+	}
+
+	if s.HasFaults != (m.faults != nil) {
+		return fmt.Errorf("machine: snapshot fault injection (%v) does not match machine (%v)",
+			s.HasFaults, m.faults != nil)
+	}
+	if m.faults != nil {
+		m.faults.Load(s.Faults)
+	}
+	if s.HasMetrics && m.mc != nil {
+		m.mc.Load(s.Metrics)
+	}
+
+	// Rebuild the machine's own tagged tick callbacks before the engine
+	// resolves saved events against them.
+	if s.Started {
+		if m.cfg.StallCycles > 0 {
+			m.initWatchdog()
+			m.watchdog.Restore(s.WatchdogLast)
+		}
+		if m.cfg.CheckEvery > 0 {
+			m.initChecker()
+		}
+	}
+	m.started = s.Started
+
+	if err := m.Eng.Load(s.Engine, m.resolveEvent); err != nil {
+		return fmt.Errorf("machine: restoring engine: %w", err)
+	}
+	return nil
+}

@@ -251,7 +251,7 @@ func (m *Module) setBusy(d sim.Cycle, act busyAction) {
 	m.busy = true
 	m.busySince = m.eng.Now()
 	m.busyAct = act
-	m.eng.After(d, m.unbusyFn)
+	m.eng.AfterEvent(d, m.unbusyFn, m.evdesc(modEvUnbusy))
 }
 
 // unbusy ends the current occupancy, performs the deferred action, and
@@ -418,7 +418,8 @@ func (m *Module) processWriteBack(r request, e *entry) {
 // cycle per word while the line streams.
 func (m *Module) serveData(dst int, msg Msg) {
 	m.setBusy(sim.Cycle(LookupCycles+InitiateCycles+m.words), actNone)
-	m.eng.After(LookupCycles+InitiateCycles, m.allocHead(dst, msg, nil, uncached).fn)
+	h := m.allocHead(dst, msg, nil, uncached)
+	m.eng.AfterEvent(LookupCycles+InitiateCycles, h.fn, m.headDesc(h))
 }
 
 // completion handles FlushInv/FlushShare/InvAck for a busy entry.
@@ -491,7 +492,9 @@ func (m *Module) whenIdle(d sim.Cycle) {
 		m.setBusy(d, actNone)
 		return
 	}
-	m.eng.After(1, func() { m.whenIdle(d) })
+	retry := m.evdesc(modEvWhenIdle)
+	retry.A = uint64(d)
+	m.eng.AfterEvent(1, func() { m.whenIdle(d) }, retry)
 }
 
 // occupyWhenIdle occupies the module for total cycles as soon as it is
@@ -500,10 +503,10 @@ func (m *Module) whenIdle(d sim.Cycle) {
 func (m *Module) occupyWhenIdle(total, head sim.Cycle, h *headEvt) {
 	if !m.busy {
 		m.setBusy(total, actNone)
-		m.eng.After(head, h.fn)
+		m.eng.AfterEvent(head, h.fn, m.headDesc(h))
 		return
 	}
-	m.eng.After(1, func() { m.occupyWhenIdle(total, head, h) })
+	m.eng.AfterEvent(1, func() { m.occupyWhenIdle(total, head, h) }, m.occupyDesc(total, head, h))
 }
 
 // enqueueOut hands a message to the response network, retrying when

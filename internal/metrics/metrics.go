@@ -211,7 +211,9 @@ func (c *Collector) SetSampler(fn func() Sample) {
 		return
 	}
 	c.sampler = fn
-	c.next = c.epoch
+	if c.next == 0 {
+		c.next = c.epoch
+	}
 }
 
 // tick advances the epoch sampler to the observation time now.

@@ -125,6 +125,7 @@ type Network struct {
 
 	faults   *robust.Injector // nil: no fault injection
 	inFlight int              // messages injected but not yet delivered
+	unit     int32            // instance id in event descriptors (SetUnit)
 
 	stats Stats
 	mc    *metrics.Collector // nil: no metrics collection
@@ -334,15 +335,17 @@ func (n *Network) kick(p *port, entranceSrc int) {
 	}
 
 	// Head advances to the next hop one cycle after service starts.
-	n.eng.After(1+extra, t.advanceFn)
+	n.eng.AfterEvent(1+extra, t.advanceFn, n.advanceDesc(t))
 	// The link is busy for the full message length.
-	n.eng.After(flits+extra, p.freeFn)
+	n.eng.AfterEvent(flits+extra, p.freeFn, n.freeDesc(t))
 	if entranceSrc >= 0 {
 		// A slot freed the moment the head left the queue.
 		if fn := n.onSpace[entranceSrc]; fn != nil {
 			n.onSpace[entranceSrc] = nil
 			// Run after the pop so the retry sees the free slot.
-			n.eng.After(0, fn)
+			d := n.desc(netEvSpace)
+			d.A = uint64(entranceSrc)
+			n.eng.AfterEvent(0, fn, d)
 		}
 	}
 }

@@ -1,0 +1,22 @@
+package robust
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteDump writes a diagnostic dump to path, creating the parent
+// directory if needed. Used for watchdog and signal-handler dumps whose
+// destination directory may not exist yet.
+func WriteDump(path, contents string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("robust: creating dump directory: %w", err)
+		}
+	}
+	if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+		return fmt.Errorf("robust: writing dump: %w", err)
+	}
+	return nil
+}

@@ -57,6 +57,32 @@ func (in *Injector) next() uint64 {
 	return z ^ (z >> 31)
 }
 
+// InjectorState is an injector's complete serializable state.
+type InjectorState struct {
+	Cfg      Faults
+	State    uint64
+	Injected uint64
+	Extra    uint64
+}
+
+// Save captures the injector's stream position and counters. Safe on a
+// nil receiver (returns a zero state).
+func (in *Injector) Save() InjectorState {
+	if in == nil {
+		return InjectorState{}
+	}
+	return InjectorState{Cfg: in.cfg, State: in.state, Injected: in.Injected, Extra: in.Extra}
+}
+
+// Load restores a saved stream position so the injector continues the
+// exact same delay sequence.
+func (in *Injector) Load(st InjectorState) {
+	in.cfg = st.Cfg
+	in.state = st.State
+	in.Injected = st.Injected
+	in.Extra = st.Extra
+}
+
 // ExtraDelay returns the cycles to add to the current port service:
 // zero most of the time, 1..MaxExtraDelay with probability DelayProb.
 // Safe on a nil receiver.

@@ -38,6 +38,9 @@ const (
 	// Program: the simulated program itself misbehaved (runaway local
 	// loop, PC out of range, unaligned access).
 	Program
+	// Canceled: the run was interrupted from outside — a context
+	// cancellation (signal, timeout) rather than a simulated failure.
+	Canceled
 )
 
 func (k Kind) String() string {
@@ -54,6 +57,8 @@ func (k Kind) String() string {
 		return "event-limit"
 	case Program:
 		return "program"
+	case Canceled:
+		return "canceled"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -65,7 +70,9 @@ func (k Kind) String() string {
 // operation involved, if any; Line is the line or word address
 // involved, valid only when HasLine is set (line 0 is a legal
 // address). Dump, when non-empty, carries the machine layer's
-// diagnostic dump rendered at the failure cycle.
+// diagnostic dump rendered at the failure cycle. Err, when non-nil,
+// is an underlying cause (e.g. the context error behind a Canceled
+// failure) exposed through Unwrap for errors.Is.
 type SimError struct {
 	Kind      Kind
 	Component string
@@ -76,7 +83,12 @@ type SimError struct {
 	HasLine   bool
 	Detail    string
 	Dump      string
+	Err       error
 }
+
+// Unwrap exposes the underlying cause, so
+// errors.Is(err, context.DeadlineExceeded) works on timeout failures.
+func (e *SimError) Unwrap() error { return e.Err }
 
 // Error renders the failure as a single structured line, e.g.
 //

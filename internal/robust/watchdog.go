@@ -20,9 +20,11 @@ type Watchdog struct {
 	armed bool
 }
 
-// Start arms the watchdog on the engine. It panics (a configuration
+// Arm initializes the progress baseline without scheduling anything;
+// the owner drives Check on its own cadence (the machine schedules its
+// ticks as serializable tagged events). It panics (a configuration
 // bug, not a simulated failure) if the window or callbacks are unset.
-func (w *Watchdog) Start(eng *sim.Engine) {
+func (w *Watchdog) Arm() {
 	if w.Window == 0 || w.Progress == nil || w.OnStall == nil {
 		panic("robust: watchdog needs Window, Progress and OnStall")
 	}
@@ -31,16 +33,40 @@ func (w *Watchdog) Start(eng *sim.Engine) {
 	}
 	w.armed = true
 	w.last = w.Progress()
-	eng.Every(w.Window, func() bool {
-		if w.Done != nil && w.Done() {
-			return false
-		}
-		cur := w.Progress()
-		if cur == w.last {
-			w.OnStall(w.Window, cur)
-			return false // OnStall normally raises; stop if it returns
-		}
-		w.last = cur
-		return true
-	})
+}
+
+// Check performs one window check and reports whether the watchdog
+// should keep ticking: false once the run is done or a stall was
+// reported (OnStall normally raises; stop if it returns).
+func (w *Watchdog) Check() bool {
+	if w.Done != nil && w.Done() {
+		return false
+	}
+	cur := w.Progress()
+	if cur == w.last {
+		w.OnStall(w.Window, cur)
+		return false
+	}
+	w.last = cur
+	return true
+}
+
+// Last returns the progress baseline of the current window, for
+// snapshots.
+func (w *Watchdog) Last() uint64 { return w.last }
+
+// Restore re-arms the watchdog mid-window with a saved baseline.
+func (w *Watchdog) Restore(last uint64) {
+	if !w.armed {
+		w.Arm()
+	}
+	w.last = last
+}
+
+// Start arms the watchdog and schedules its ticks on the engine. Runs
+// driven through the machine's snapshotting path use Arm/Check instead
+// so the ticks are serializable.
+func (w *Watchdog) Start(eng *sim.Engine) {
+	w.Arm()
+	eng.Every(w.Window, w.Check)
 }

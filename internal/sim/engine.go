@@ -49,6 +49,7 @@ type node struct {
 	at   Cycle
 	seq  uint64 // tie-breaker: insertion order within a cycle
 	next int32  // bucket FIFO / free-list link
+	desc EventDesc
 }
 
 // bucket is one ring slot: a FIFO of the events for a single cycle.
@@ -101,6 +102,7 @@ func (e *Engine) alloc(at Cycle, fn func()) int32 {
 	}
 	n := &e.nodes[h]
 	n.at, n.seq, n.fn, n.next = at, e.seq, fn, 0
+	n.desc = EventDesc{}
 	return h
 }
 

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Component classes for event descriptors. The machine layer assigns
+// one class per component type; Unit distinguishes instances. CompNone
+// marks an event scheduled through plain At/After — such events cannot
+// be serialized, and Save reports them so implicit state is flushed out
+// instead of silently dropped.
+const (
+	CompNone uint8 = iota
+	CompMachine
+	CompCPU
+	CompCache
+	CompModule
+	CompNet
+)
+
+// EventDesc describes a scheduled callback as plain data so a pending
+// event can be written to a snapshot and rebuilt on restore. Comp/Unit
+// identify the owning component; Kind and A/B/C are interpreted by that
+// component's RestoreEvent method. The descriptor must carry everything
+// the owner needs to rebuild the exact closure it scheduled.
+type EventDesc struct {
+	Comp uint8
+	Kind uint8
+	Unit int32
+	A    uint64
+	B    uint64
+	C    uint64
+}
+
+// EventState is one pending event in a snapshot: its firing cycle, its
+// insertion sequence number (the tie-breaker that fixes execution order
+// within a cycle), and the descriptor to rebuild its callback from.
+type EventState struct {
+	At   Cycle
+	Seq  uint64
+	Desc EventDesc
+}
+
+// EngineState is the complete serializable state of an Engine. Events
+// are sorted by Seq so Load can insert them in a single pass that
+// preserves every bucket's FIFO (= seq) order.
+type EngineState struct {
+	Now    Cycle
+	Seq    uint64
+	Steps  uint64
+	Events []EventState
+}
+
+// AtEvent schedules fn like At and tags the event with a descriptor so
+// it can be serialized by Save. All simulator components schedule
+// through AtEvent/AfterEvent; plain At remains for tests and throwaway
+// drivers whose engines are never snapshotted.
+func (e *Engine) AtEvent(at Cycle, fn func(), d EventDesc) {
+	if at < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	e.seq++
+	h := e.alloc(at, fn)
+	e.nodes[h].desc = d
+	e.count++
+	if at-e.now < horizon {
+		e.ringPush(h, at)
+	} else {
+		e.heapPush(h)
+	}
+}
+
+// AfterEvent schedules fn to run delay cycles from now, tagged with a
+// descriptor (see AtEvent).
+func (e *Engine) AfterEvent(delay Cycle, fn func(), d EventDesc) {
+	e.AtEvent(e.now+delay, fn, d)
+}
+
+// Save captures the engine's counters and every pending event. It
+// fails if any pending event was scheduled without a descriptor
+// (through plain At/After): such an event holds state only its closure
+// knows, which a snapshot cannot carry.
+func (e *Engine) Save() (EngineState, error) {
+	st := EngineState{Now: e.now, Seq: e.seq, Steps: e.steps}
+	if e.count > 0 {
+		st.Events = make([]EventState, 0, e.count)
+	}
+	collect := func(h int32) error {
+		n := &e.nodes[h]
+		if n.desc.Comp == CompNone {
+			return fmt.Errorf("sim: pending event at cycle %d (seq %d) has no descriptor; scheduled via At/After instead of AtEvent", n.at, n.seq)
+		}
+		st.Events = append(st.Events, EventState{At: n.at, Seq: n.seq, Desc: n.desc})
+		return nil
+	}
+	for i := range e.buckets {
+		for h := e.buckets[i].head; h != 0; h = e.nodes[h].next {
+			if err := collect(h); err != nil {
+				return EngineState{}, err
+			}
+		}
+	}
+	for _, h := range e.overflow {
+		if err := collect(h); err != nil {
+			return EngineState{}, err
+		}
+	}
+	if len(st.Events) != e.count {
+		return EngineState{}, fmt.Errorf("sim: enumerated %d pending events, engine counts %d", len(st.Events), e.count)
+	}
+	sort.Slice(st.Events, func(i, j int) bool { return st.Events[i].Seq < st.Events[j].Seq })
+	return st, nil
+}
+
+// Load rebuilds the engine from a saved state: counters are restored
+// and every saved event is re-inserted with its original cycle and
+// sequence number, its callback resolved from the descriptor. The
+// engine must be freshly constructed (nothing scheduled); resolve must
+// return the exact closure the owning component originally scheduled.
+//
+// Because events arrive sorted by Seq and buckets append at the tail,
+// every bucket's FIFO order equals seq order, so the restored engine
+// executes events in an order bit-identical to the uninterrupted run.
+func (e *Engine) Load(st EngineState, resolve func(EventDesc) (func(), error)) error {
+	if e.count != 0 || e.steps != 0 {
+		return fmt.Errorf("sim: Load on a used engine (%d pending, %d executed)", e.count, e.steps)
+	}
+	e.now = st.Now
+	e.steps = st.Steps
+	prev := uint64(0)
+	for _, ev := range st.Events {
+		if ev.Seq <= prev {
+			return fmt.Errorf("sim: event sequence numbers not strictly increasing (%d after %d)", ev.Seq, prev)
+		}
+		prev = ev.Seq
+		if ev.Seq > st.Seq {
+			return fmt.Errorf("sim: event seq %d beyond saved counter %d", ev.Seq, st.Seq)
+		}
+		if ev.At < st.Now {
+			return fmt.Errorf("sim: saved event at cycle %d before engine time %d", ev.At, st.Now)
+		}
+		fn, err := resolve(ev.Desc)
+		if err != nil {
+			return fmt.Errorf("sim: resolving event at cycle %d (seq %d): %w", ev.At, ev.Seq, err)
+		}
+		if fn == nil {
+			return fmt.Errorf("sim: resolver returned nil callback for event at cycle %d (seq %d)", ev.At, ev.Seq)
+		}
+		h := e.alloc(ev.At, fn)
+		e.nodes[h].seq = ev.Seq
+		e.nodes[h].desc = ev.Desc
+		e.count++
+		if ev.At-e.now < horizon {
+			e.ringPush(h, ev.At)
+		} else {
+			e.heapPush(h)
+		}
+	}
+	e.seq = st.Seq
+	return nil
+}

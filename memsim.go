@@ -85,6 +85,55 @@ type Metrics = metrics.Collector
 // capacity.
 func NewMetrics() *Metrics { return metrics.New() }
 
+// Machine is one assembled system. Build one with NewMachine to drive
+// a simulation manually — pause at a cycle via RunControlled, snapshot
+// it, restore into a fresh machine — instead of the one-shot Run.
+type Machine = machine.Machine
+
+// RunControl bounds a manually driven run: event limit, cooperative
+// cancellation, pause cycle, and periodic checkpointing. A run paused
+// by Until returns ErrPaused.
+type RunControl = machine.RunControl
+
+// ErrPaused reports a run stopped by RunControl.Until with work
+// remaining; the machine may be snapshotted or continued.
+var ErrPaused = machine.ErrPaused
+
+// Snapshot is a machine's complete serialized state; restoring it
+// continues to a bit-identical Result (DESIGN.md §10).
+type Snapshot = machine.Snapshot
+
+// WriteSnapshotFile atomically writes a snapshot in the checksummed
+// MCSP container format.
+func WriteSnapshotFile(path string, s *Snapshot) error {
+	return machine.WriteSnapshotFile(path, s)
+}
+
+// ReadSnapshotFile reads and validates an MCSP snapshot file.
+func ReadSnapshotFile(path string) (*Snapshot, error) {
+	return machine.ReadSnapshotFile(path)
+}
+
+// NewMachine assembles a machine for a workload with its shared-memory
+// image set up, ready for RunControlled, Snapshot or Restore. Zero
+// cfg.Procs / cfg.SharedWords adopt the workload's values.
+func NewMachine(cfg Config, w Workload) (*Machine, error) {
+	if cfg.Procs == 0 {
+		cfg.Procs = w.Procs
+	}
+	if cfg.SharedWords == 0 {
+		cfg.SharedWords = w.SharedWords
+	}
+	m, err := machine.New(cfg, w.Programs)
+	if err != nil {
+		return nil, err
+	}
+	if w.Setup != nil {
+		w.Setup(m.Shared())
+	}
+	return m, nil
+}
+
 // Run executes a workload on a machine built from cfg and returns the
 // measurements. cfg.Procs must match the workload's processor count
 // (0 adopts it); cfg.SharedWords is sized automatically when zero.

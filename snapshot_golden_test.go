@@ -1,0 +1,104 @@
+// Snapshot/restore golden property test.
+//
+// TestSnapshotReproducesGolden ties the checkpoint subsystem to the
+// golden corpus: for each of the paper's five system types, a Quick
+// Gauss run is paused at a randomized mid-run cycle, serialized
+// through a snapshot file, restored into a freshly built machine and
+// run to completion — and the resumed Result must reproduce the
+// checksum recorded in testdata/golden/quick.json bit-for-bit. This
+// is the end-to-end guarantee behind `sweep -resume`: a run completed
+// from a checkpoint is indistinguishable from one that never stopped.
+package memsim_test
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"memsim/internal/experiments"
+	"memsim/internal/machine"
+)
+
+func TestSnapshotReproducesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("snapshot golden property test runs full Quick simulations; skipped in -short mode")
+	}
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden corpus (run `go test -run TestGolden -update` first): %v", err)
+	}
+	var golden map[string]string
+	if err := json.Unmarshal(raw, &golden); err != nil {
+		t.Fatalf("parsing golden corpus: %v", err)
+	}
+
+	p := experiments.Quick()
+	r := experiments.NewRunner(p)
+	rng := rand.New(rand.NewSource(20260806))
+	dir := t.TempDir()
+
+	for _, model := range goldenModels {
+		spec := experiments.RunSpec{
+			Bench: experiments.BGauss, Model: model,
+			CacheSize: p.LargeCache, LineSize: p.LineSizes[0],
+		}
+		key := goldenKey(spec)
+		want, ok := golden[key]
+		if !ok {
+			t.Fatalf("golden corpus has no entry for %s", key)
+		}
+
+		// The uninterrupted run, via the normal runner path, bounds the
+		// randomized pause point (and re-checks the corpus itself).
+		full, err := r.Run(spec)
+		if err != nil {
+			t.Fatalf("%s: uninterrupted run: %v", key, err)
+		}
+		if got := full.Checksum(); got != want {
+			t.Fatalf("%s: uninterrupted checksum does not match corpus\n  want %s\n  got  %s", key, want, got)
+		}
+
+		at := 1 + uint64(rng.Int63n(int64(full.Cycles-1)))
+		m1, err := r.Build(spec)
+		if err != nil {
+			t.Fatalf("%s: build: %v", key, err)
+		}
+		if _, err := m1.RunControlled(machine.RunControl{MaxEvents: p.MaxEvents, Until: at}); !errors.Is(err, machine.ErrPaused) {
+			t.Fatalf("%s: run to cycle %d: want ErrPaused, got %v", key, at, err)
+		}
+
+		snap, err := m1.Snapshot()
+		if err != nil {
+			t.Fatalf("%s: snapshot at cycle %d: %v", key, at, err)
+		}
+		path := filepath.Join(dir, "snap.mcsp")
+		if err := machine.WriteSnapshotFile(path, snap); err != nil {
+			t.Fatal(err)
+		}
+		read, err := machine.ReadSnapshotFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		m2, err := r.Build(spec)
+		if err != nil {
+			t.Fatalf("%s: rebuild: %v", key, err)
+		}
+		if err := m2.Restore(read); err != nil {
+			t.Fatalf("%s: restore at cycle %d: %v", key, at, err)
+		}
+		res, err := m2.Run(p.MaxEvents)
+		if err != nil {
+			t.Fatalf("%s: resumed run (paused at %d): %v", key, at, err)
+		}
+		if got := res.Checksum(); got != want {
+			t.Errorf("%s: resumed run from cycle %d drifted from golden checksum\n  want %s\n  got  %s",
+				key, at, want, got)
+		} else {
+			t.Logf("%s: restored at cycle %d of %d, checksum reproduced", key, at, full.Cycles)
+		}
+	}
+}
