@@ -1,0 +1,154 @@
+// litmus runs the memory-model conformance harness from the command
+// line: classic litmus tests generated onto the simulated machine,
+// executed under perturbed seeds, with every observed outcome checked
+// against the model's allowed set (the exhaustive SC-interleaving
+// oracle, plus each relaxed model's whitelisted reorderings).
+//
+// Usage:
+//
+//	litmus                           # every test under every model
+//	litmus -test sb -model WO1       # one (test, model) pair
+//	litmus -runs 1000 -seed 7        # deeper, different perturbations
+//	litmus -json                     # machine-readable reports
+//	litmus -list                     # describe the test library
+//	litmus -mutate sc-overlap        # seed the self-check defect
+//
+// Exit status is nonzero if any run produced an outcome outside its
+// model's allowed set.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"memsim/internal/consistency"
+	"memsim/internal/litmus"
+)
+
+func main() {
+	var (
+		testF  = flag.String("test", "all", "litmus test name, or all")
+		modelF = flag.String("model", "all", "memory model (SC1,SC2,WO1,WO2,RC,bSC1,bWO1), or all")
+		runs   = flag.Int("runs", 150, "perturbed runs per (test, model)")
+		seed   = flag.Int64("seed", 1, "base seed; run i uses seed+i")
+		jsonF  = flag.Bool("json", false, "emit one JSON report per (test, model)")
+		list   = flag.Bool("list", false, "list the test library and exit")
+		mutate = flag.String("mutate", "", "seed a spec defect (sc-overlap) for the self-check")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, t := range litmus.Library() {
+			fmt.Printf("%-10s %s\n", t.Name, t.Doc)
+		}
+		return
+	}
+
+	tests, err := selectTests(*testF)
+	if err != nil {
+		fatal(err)
+	}
+	models, err := selectModels(*modelF)
+	if err != nil {
+		fatal(err)
+	}
+	var mut consistency.Mutation
+	switch *mutate {
+	case "":
+	case "sc-overlap":
+		mut = consistency.MutSCOverlap
+	default:
+		fatal(fmt.Errorf("unknown mutation %q (try sc-overlap)", *mutate))
+	}
+
+	cfg := litmus.Config{Runs: *runs, Seed: *seed, Mutate: mut}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	violations := 0
+	for _, t := range tests {
+		for _, m := range models {
+			rep, err := litmus.Run(t, m, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			violations += len(rep.Violations)
+			if *jsonF {
+				if err := enc.Encode(rep); err != nil {
+					fatal(err)
+				}
+				continue
+			}
+			printReport(rep)
+		}
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "litmus: %d outcome(s) outside the allowed set\n", violations)
+		os.Exit(1)
+	}
+}
+
+func selectTests(name string) ([]*litmus.Test, error) {
+	if name == "all" {
+		return litmus.Library(), nil
+	}
+	var tests []*litmus.Test
+	for _, n := range strings.Split(name, ",") {
+		t, err := litmus.TestByName(strings.TrimSpace(n))
+		if err != nil {
+			return nil, err
+		}
+		tests = append(tests, t)
+	}
+	return tests, nil
+}
+
+func selectModels(name string) ([]consistency.Model, error) {
+	if name == "all" {
+		return consistency.Models, nil
+	}
+	var models []consistency.Model
+	for _, n := range strings.Split(name, ",") {
+		m, err := consistency.ParseModel(strings.TrimSpace(n))
+		if err != nil {
+			return nil, err
+		}
+		models = append(models, m)
+	}
+	return models, nil
+}
+
+func printReport(r *litmus.Report) {
+	verdict := "PASS"
+	if !r.OK() {
+		verdict = "FAIL"
+	}
+	allowed := make(map[string]bool, len(r.Allowed))
+	for _, k := range r.Allowed {
+		allowed[k] = true
+	}
+	covered := 0
+	for k := range r.Witnessed {
+		if allowed[k] {
+			covered++
+		}
+	}
+	fmt.Printf("%-4s %-10s %-5s %d runs, witnessed %d/%d allowed outcomes\n",
+		verdict, r.Test, r.Model, r.Runs, covered, len(r.Allowed))
+	for _, k := range r.WitnessedKeys() {
+		fmt.Printf("       %6d  %s\n", r.Witnessed[k], k)
+	}
+	for _, miss := range r.Unwitnessed() {
+		fmt.Printf("       unseen  %s\n", miss)
+	}
+	for _, v := range r.Violations {
+		fmt.Printf("  FORBIDDEN %q  seed=%d  %s\n", v.Outcome, v.Seed, v.Config)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "litmus:", err)
+	os.Exit(1)
+}

@@ -30,7 +30,11 @@
 // replays the journal — completed runs are recalled, not re-simulated —
 // and restores in-flight runs from their latest valid checkpoint.
 // A failed experiment no longer aborts the sweep: remaining experiments
-// run to completion and the process exits nonzero at the end.
+// run to completion and the process exits nonzero at the end. When every
+// experiment has run — even if every one failed — the journal is
+// finalized with a terminal sweep-end marker before the process exits;
+// an interrupted sweep leaves the marker out, which is how -resume
+// knows there is work left.
 package main
 
 import (
@@ -241,6 +245,22 @@ func main() {
 	if *outF != "" {
 		if err := os.WriteFile(*outF, []byte(report.String()), 0o644); err != nil {
 			fatal(err)
+		}
+	}
+	// Finalize the journal before deciding the exit status: os.Exit
+	// skips deferred closes, and a sweep that ran every experiment —
+	// even one where every experiment failed — must leave a complete
+	// journal with its terminal marker. An interrupted sweep (ctx
+	// canceled) deliberately does not Finish: the missing marker is
+	// what tells -resume there is work left.
+	if journal != nil {
+		if ctx.Err() == nil {
+			if err := journal.Finish(failed, len(ids)); err != nil {
+				complain(err)
+			}
+		}
+		if err := journal.Close(); err != nil {
+			complain(err)
 		}
 	}
 	if failed > 0 {

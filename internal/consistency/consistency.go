@@ -187,3 +187,42 @@ func SpecFor(m Model) Spec {
 // whose hardware enforces sequential consistency for all accesses
 // (i.e. programs need no visible synchronization at all).
 func (s Spec) SequentiallyConsistent() bool { return !s.SyncVisible }
+
+// Mutation is a deliberate, named spec defect used by the litmus
+// harness's self-check: it seeds an ordering bug that a correct
+// conformance suite must detect. MutNone is the zero value and leaves
+// the spec untouched, so ordinary configs are unaffected.
+type Mutation int
+
+const (
+	// MutNone applies no mutation.
+	MutNone Mutation = iota
+
+	// MutSCOverlap breaks the SC systems by letting a second shared
+	// reference issue while the first is still outstanding
+	// (MaxOutstanding 1 → 2): a store can then perform before a prior
+	// load has completed, which is exactly the store-buffering
+	// violation SC hardware must prevent. Non-SC specs are unchanged.
+	MutSCOverlap
+)
+
+func (mu Mutation) String() string {
+	switch mu {
+	case MutNone:
+		return "none"
+	case MutSCOverlap:
+		return "sc-overlap"
+	}
+	return fmt.Sprintf("mutation(%d)", int(mu))
+}
+
+// Apply returns the spec with the mutation's defect introduced.
+func (mu Mutation) Apply(s Spec) Spec {
+	switch mu {
+	case MutSCOverlap:
+		if s.MaxOutstanding == 1 {
+			s.MaxOutstanding = 2
+		}
+	}
+	return s
+}

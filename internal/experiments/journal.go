@@ -19,11 +19,18 @@ const (
 	StatusRunning Status = "running"
 	StatusDone    Status = "done"
 	StatusFailed  Status = "failed"
+
+	// StatusSweepEnd is the journal's terminal marker: the sweep ran to
+	// completion (even if every experiment failed) and the journal is
+	// final. Its absence from a replayed journal means the sweep was
+	// interrupted or crashed mid-flight.
+	StatusSweepEnd Status = "sweep-end"
 )
 
 // JournalEntry is one line of a sweep journal: a run began, completed
-// (with its full result and checksum), or failed. Entries carry no
-// timestamps so journals from identical sweeps are byte-identical.
+// (with its full result and checksum), or failed — or the terminal
+// sweep-end marker. Entries carry no timestamps so journals from
+// identical sweeps are byte-identical.
 type JournalEntry struct {
 	Key      string          `json:"key"`
 	Spec     RunSpec         `json:"spec"`
@@ -31,11 +38,14 @@ type JournalEntry struct {
 	Checksum string          `json:"checksum,omitempty"`
 	Result   *machine.Result `json:"result,omitempty"`
 	Err      string          `json:"error,omitempty"`
+	Summary  string          `json:"summary,omitempty"`
 }
 
 // Journal is an append-only JSONL manifest of simulation runs. Every
 // append is flushed and fsynced before returning, so a crash loses at
-// most the line being written — which ReplayJournal tolerates.
+// most the line being written — which ReplayJournal tolerates. A
+// completed sweep ends the journal with Finish; Close without Finish
+// leaves the journal in its "interrupted" shape.
 type Journal struct {
 	mu sync.Mutex
 	f  *os.File
@@ -65,6 +75,9 @@ func (j *Journal) Append(e JournalEntry) error {
 	b = append(b, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("experiments: appending to a closed journal")
+	}
 	if _, err := j.f.Write(b); err != nil {
 		return fmt.Errorf("experiments: appending journal entry: %w", err)
 	}
@@ -74,11 +87,28 @@ func (j *Journal) Append(e JournalEntry) error {
 	return nil
 }
 
-// Close closes the journal file.
+// Finish appends the terminal sweep-end marker. Called once when the
+// sweep has run every experiment to completion — including the
+// all-failed case, which is still a finished sweep, just a failed one.
+func (j *Journal) Finish(failed, total int) error {
+	return j.Append(JournalEntry{
+		Key:     "sweep",
+		Status:  StatusSweepEnd,
+		Summary: fmt.Sprintf("%d of %d experiments failed", failed, total),
+	})
+}
+
+// Close closes the journal file. Closing an already-closed journal is
+// a no-op, so explicit finalization composes with a deferred Close.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.f.Close()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
 }
 
 // ReplayJournal reads a journal back. A malformed or truncated final

@@ -307,3 +307,63 @@ func TestRunnerTimeoutRetriesMakeProgress(t *testing.T) {
 		t.Errorf("hooks fired start=%d result=%d, want 1/1 (retries must not re-fire hooks)", starts, results)
 	}
 }
+
+// TestJournalFinishMarksCompletion covers the all-failed sweep path:
+// a sweep that runs every experiment to completion — even with every
+// one failing — must still finalize its journal with the terminal
+// sweep-end marker, and that marker must replay cleanly and not
+// disturb cache seeding. Close must also be idempotent, since the
+// sweep finalizes explicitly before exiting nonzero while a deferred
+// Close still runs.
+func TestJournalFinishMarksCompletion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := []JournalEntry{
+		{Key: "a", Spec: RunSpec{Bench: BGauss, Model: consistency.SC1}, Status: StatusRunning},
+		{Key: "a", Spec: RunSpec{Bench: BGauss, Model: consistency.SC1}, Status: StatusFailed, Err: "stall"},
+		{Key: "b", Spec: RunSpec{Bench: BQsort, Model: consistency.RC}, Status: StatusRunning},
+		{Key: "b", Spec: RunSpec{Bench: BQsort, Model: consistency.RC}, Status: StatusFailed, Err: "timeout"},
+	}
+	for _, e := range fails {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Finish(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("second Close must be a no-op, got %v", err)
+	}
+	if err := j.Append(JournalEntry{Key: "late"}); err == nil {
+		t.Error("Append after Close must fail")
+	}
+
+	got, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(fails)+1 {
+		t.Fatalf("replayed %d entries, want %d", len(got), len(fails)+1)
+	}
+	last := got[len(got)-1]
+	if last.Status != StatusSweepEnd {
+		t.Errorf("terminal entry status = %q, want %q", last.Status, StatusSweepEnd)
+	}
+	if last.Summary != "2 of 2 experiments failed" {
+		t.Errorf("terminal summary = %q", last.Summary)
+	}
+
+	// Seeding from an all-failed, finished journal recalls nothing and
+	// does not trip over the marker.
+	r := NewRunner(Quick())
+	if n := r.Seed(got); n != 0 {
+		t.Errorf("seeded %d runs from an all-failed journal, want 0", n)
+	}
+}

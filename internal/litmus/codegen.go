@@ -1,0 +1,146 @@
+package litmus
+
+import (
+	"fmt"
+	"strings"
+
+	"memsim/internal/asm"
+	"memsim/internal/isa"
+)
+
+// Code generation for declarative tests. Each abstract thread becomes
+// a short assembly program via internal/asm:
+//
+//	nop ×stagger            ; per-thread start skew
+//	li  r8+loc, <addr>      ; one address register per location
+//	ld  r4+k, 0(r8+loc)     ; k-th load of the thread
+//	li  r3, <val>           ; store value scratch
+//	st  r3, 0(r8+loc)
+//	fence !sync
+//	halt
+//
+// Observed loads bind r4 upward; address registers sit at r8 upward;
+// r3 is store-value scratch (safe: store operands are captured at
+// issue, and no generated load writes r3).
+const (
+	obsBase  isa.Reg = 4
+	addrBase isa.Reg = 8
+	warmBase isa.Reg = 12
+
+	// locStride spaces locations 72 bytes apart: distinct cache lines
+	// at every line size the driver draws (≤ 64B), and — because 72
+	// is an odd multiple of the word size — line indexes of different
+	// parity, so locations spread across home memory modules
+	// (ModuleFor is lineIndex mod procs). A power-of-two stride would
+	// home every location on module 0, serializing their requests in
+	// FIFO order and hiding real reorderings.
+	locStride = 72
+	locBase   = 512
+)
+
+// Layout places the test's abstract locations in shared memory. The
+// driver draws a per-run base offset so the line-index pattern (and
+// with it the home-module assignment) varies across runs.
+type Layout struct {
+	Base uint64 // byte address of location 0 (8-byte aligned)
+}
+
+// DefaultLayout is the unperturbed placement.
+var DefaultLayout = Layout{Base: locBase}
+
+// Addr is the shared byte address of location loc.
+func (l Layout) Addr(loc int) uint64 { return l.Base + uint64(loc)*locStride }
+
+// annSuffix renders an annotation as asm syntax.
+func annSuffix(a Ann) string {
+	switch a {
+	case AnnAcquire:
+		return " !acquire"
+	case AnnRelease:
+		return " !release"
+	case AnnSync:
+		return " !sync"
+	}
+	return ""
+}
+
+// threadAsm renders one thread's ops as assembly source. warm is a
+// bitmask over location indexes: each loaded location with its bit
+// set is first fetched into the cache, followed by an ALU instruction
+// reading the warmup sinks — a register-interlock barrier
+// (consistency-invisible) that holds the thread until the warmup
+// fills have landed. A warmed test load then *hits* and binds
+// immediately, which is what lets a relaxed machine bind it while an
+// earlier store's ownership fetch is still in flight (store-load
+// reordering). Warming only a *subset* of a thread's loads mixes
+// hit-early and miss-late binds, which is what reorders two loads of
+// the same thread (load buffering, IRIW). Cold locations instead
+// explore late out-of-order binding of pending misses.
+func (t *Test) threadAsm(lay Layout, th Thread, stagger int, warm uint64) string {
+	var b strings.Builder
+	for i := 0; i < stagger; i++ {
+		b.WriteString("nop\n")
+	}
+	used := make([]bool, t.NLocs)
+	warmed := make([]bool, t.NLocs)
+	for _, op := range th {
+		if op.Kind == OpFence {
+			continue
+		}
+		used[op.Loc] = true
+		if op.Kind == OpLoad && warm&(1<<uint(op.Loc)) != 0 {
+			warmed[op.Loc] = true
+		}
+	}
+	for loc, u := range used {
+		if u {
+			fmt.Fprintf(&b, "li r%d, %d\n", addrBase+isa.Reg(loc), lay.Addr(loc))
+		}
+	}
+	for loc, w := range warmed {
+		if w {
+			fmt.Fprintf(&b, "ld r%d, 0(r%d)\n", warmBase+isa.Reg(loc), addrBase+isa.Reg(loc))
+		}
+	}
+	for loc, w := range warmed {
+		if w {
+			// Interlock: stalls until the warmup fill arrives.
+			fmt.Fprintf(&b, "add r3, r%d, r%d\n", warmBase+isa.Reg(loc), warmBase+isa.Reg(loc))
+		}
+	}
+	k := 0
+	for _, op := range th {
+		switch op.Kind {
+		case OpLoad:
+			fmt.Fprintf(&b, "ld r%d, 0(r%d)%s\n",
+				obsBase+isa.Reg(k), addrBase+isa.Reg(op.Loc), annSuffix(op.Ann))
+			k++
+		case OpStore:
+			fmt.Fprintf(&b, "li r3, %d\n", op.Val)
+			fmt.Fprintf(&b, "st r3, 0(r%d)%s\n", addrBase+isa.Reg(op.Loc), annSuffix(op.Ann))
+		case OpFence:
+			b.WriteString("fence !sync\n")
+		}
+	}
+	b.WriteString("halt\n")
+	return b.String()
+}
+
+// Programs assembles the test's per-thread programs against a
+// location layout. stagger gives each thread a start-skew nop count;
+// warm gives each thread a prefetch bitmask over locations (both
+// len == NumThreads).
+func (t *Test) Programs(lay Layout, stagger []int, warm []uint64) ([][]isa.Inst, []LoadRef, error) {
+	if t.Threads == nil {
+		return t.Build(lay, stagger)
+	}
+	progs := make([][]isa.Inst, len(t.Threads))
+	for ti, th := range t.Threads {
+		p, err := asm.Assemble(t.threadAsm(lay, th, stagger[ti], warm[ti]))
+		if err != nil {
+			return nil, nil, fmt.Errorf("litmus: %s thread %d: %w", t.Name, ti, err)
+		}
+		progs[ti] = p
+	}
+	return progs, t.loadRefs(), nil
+}

@@ -1,0 +1,84 @@
+package litmus
+
+import (
+	"testing"
+
+	"memsim/internal/consistency"
+)
+
+// TestMutationSelfCheck validates the harness end to end by seeding a
+// deliberate ordering bug — MutSCOverlap lifts an SC pipeline's
+// MaxOutstanding from 1 to 2, letting a load issue while the earlier
+// store's ownership fetch is in flight — and asserting the store-
+// buffering test catches it under every SC model, naming the exact
+// forbidden outcome. A harness that passes conformance but fails this
+// test is vacuous.
+func TestMutationSelfCheck(t *testing.T) {
+	sb, err := TestByName("sb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const forbidden = "P0:r4=0 P1:r4=0 | x=1 y=1"
+	for _, m := range []consistency.Model{consistency.SC1, consistency.SC2, consistency.BSC1} {
+		rep, err := Run(sb, m, Config{Runs: 150, Seed: 1, Mutate: consistency.MutSCOverlap})
+		if err != nil {
+			t.Fatalf("sb/%s mutated: %v", m, err)
+		}
+		if rep.OK() {
+			t.Errorf("sb/%s: seeded %s defect escaped detection over %d runs (witnessed: %v)",
+				m, consistency.MutSCOverlap, rep.Runs, rep.WitnessedKeys())
+			continue
+		}
+		named := false
+		for _, v := range rep.Violations {
+			if v.Outcome == forbidden {
+				named = true
+				break
+			}
+		}
+		if !named {
+			t.Errorf("sb/%s: defect detected but the offending outcome %q was never named; violations: %+v",
+				m, forbidden, rep.Violations)
+		} else {
+			t.Logf("sb/%s: seeded defect caught %d/%d runs; offending outcome %q (first at seed %d, %s)",
+				m, len(rep.Violations), rep.Runs, forbidden,
+				rep.Violations[0].Seed, rep.Violations[0].Config)
+		}
+	}
+}
+
+// TestMutationNoFalsePositive: the same SC models run clean without
+// the seeded defect — the self-check fires on the bug, not on noise.
+func TestMutationNoFalsePositive(t *testing.T) {
+	sb, err := TestByName("sb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []consistency.Model{consistency.SC1, consistency.SC2, consistency.BSC1} {
+		rep, err := Run(sb, m, Config{Runs: 150, Seed: 1})
+		if err != nil {
+			t.Fatalf("sb/%s: %v", m, err)
+		}
+		if !rep.OK() {
+			t.Errorf("sb/%s unmutated: unexpected violations: %+v", m, rep.Violations)
+		}
+	}
+}
+
+// TestMutationLeavesRelaxedSpecsAlone: MutSCOverlap targets the SC
+// pipelines only; a relaxed spec passes through unchanged, so mutated
+// relaxed runs behave identically to unmutated ones.
+func TestMutationLeavesRelaxedSpecsAlone(t *testing.T) {
+	spec := consistency.SpecFor(consistency.WO1)
+	if got := consistency.MutSCOverlap.Apply(spec); got != spec {
+		t.Fatalf("MutSCOverlap changed a relaxed spec: %+v -> %+v", spec, got)
+	}
+	scSpec := consistency.SpecFor(consistency.SC1)
+	mut := consistency.MutSCOverlap.Apply(scSpec)
+	if mut.MaxOutstanding != 2 {
+		t.Fatalf("MutSCOverlap on SC1: MaxOutstanding = %d, want 2", mut.MaxOutstanding)
+	}
+	if mut.SequentiallyConsistent() != scSpec.SequentiallyConsistent() {
+		t.Fatalf("MutSCOverlap must not change the spec's declared consistency class")
+	}
+}

@@ -1,0 +1,83 @@
+package litmus
+
+// The sequential-consistency oracle. A litmus test's abstract ops are
+// small enough (a handful per thread, at most four threads) that the
+// set of SC-reachable outcomes can be computed exactly by enumerating
+// every interleaving of the threads' program-ordered operations
+// against a single shared memory: that is the definition of
+// sequential consistency, operationally. Fences and annotations are
+// invisible to the oracle — under SC every access is already strongly
+// ordered.
+
+// scOutcomes enumerates the SC outcome set. Custom tests supply it
+// explicitly (SCSet); declarative tests are enumerated by depth-first
+// search over which thread performs its next operation.
+func (t *Test) scOutcomes() []Outcome {
+	if t.Threads == nil {
+		return t.SCSet
+	}
+
+	// loadIdx[thread][opIndex] is the canonical observed-load slot.
+	loadIdx := make([][]int, len(t.Threads))
+	nLoads := 0
+	for ti, th := range t.Threads {
+		loadIdx[ti] = make([]int, len(th))
+		for oi, op := range th {
+			if op.Kind == OpLoad {
+				loadIdx[ti][oi] = nLoads
+				nLoads++
+			}
+		}
+	}
+
+	pcs := make([]int, len(t.Threads))
+	mem := make([]uint64, t.NLocs)
+	obs := make([]uint64, nLoads)
+	seen := make(map[string]bool)
+	var outcomes []Outcome
+	refs := t.loadRefs()
+
+	var rec func()
+	rec = func() {
+		done := true
+		for ti, th := range t.Threads {
+			if pcs[ti] >= len(th) {
+				continue
+			}
+			done = false
+			op := th[pcs[ti]]
+			oi := pcs[ti]
+			pcs[ti]++
+			switch op.Kind {
+			case OpStore:
+				old := mem[op.Loc]
+				mem[op.Loc] = op.Val
+				rec()
+				mem[op.Loc] = old
+			case OpLoad:
+				idx := loadIdx[ti][oi]
+				old := obs[idx]
+				obs[idx] = mem[op.Loc]
+				rec()
+				obs[idx] = old
+			case OpFence:
+				rec()
+			}
+			pcs[ti]--
+		}
+		if !done {
+			return
+		}
+		o := Outcome{
+			Loads: append([]uint64(nil), obs...),
+			Mem:   append([]uint64(nil), mem...),
+		}
+		key := t.Key(refs, o)
+		if !seen[key] {
+			seen[key] = true
+			outcomes = append(outcomes, o)
+		}
+	}
+	rec()
+	return outcomes
+}

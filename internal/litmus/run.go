@@ -1,0 +1,258 @@
+package litmus
+
+import (
+	"fmt"
+	"sort"
+
+	"memsim/internal/consistency"
+	"memsim/internal/isa"
+	"memsim/internal/machine"
+	"memsim/internal/robust"
+)
+
+// The perturbation driver. A litmus outcome depends entirely on the
+// relative timing of a handful of memory references, so one run
+// explores one schedule. To explore many, each seeded run draws a
+// different hardware configuration (cache size, line size, MSHR
+// count, network buffering, load latency), a different per-thread
+// start skew, and — on half the runs — deterministic network fault
+// injection (robust.Faults), which jitters message timing without
+// changing results. Every run is reproducible from (test, model,
+// seed).
+
+// runBudget bounds one litmus run in engine events; generous — these
+// programs finish in a few thousand cycles.
+const runBudget = 30_000_000
+
+// Config parameterizes a conformance run.
+type Config struct {
+	Runs int   // perturbed runs per (test, model)
+	Seed int64 // base seed; run i derives from Seed+i
+
+	// Mutate seeds a deliberate hardware defect (the self-check). The
+	// allowed set still comes from the unmutated model contract — that
+	// is the point: a real defect must escape it.
+	Mutate consistency.Mutation
+}
+
+// Violation is one observed outcome outside the model's allowed set.
+type Violation struct {
+	Seed    int64  `json:"seed"`
+	Config  string `json:"config"`
+	Outcome string `json:"outcome"`
+}
+
+// Report is the verdict of one (test, model) conformance run.
+type Report struct {
+	Test       string         `json:"test"`
+	Model      string         `json:"model"`
+	Runs       int            `json:"runs"`
+	Allowed    []string       `json:"allowed"`
+	Witnessed  map[string]int `json:"witnessed"`
+	Violations []Violation    `json:"violations,omitempty"`
+}
+
+// OK reports whether every observed outcome was allowed.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Unwitnessed lists allowed outcomes no run produced — the coverage
+// gap. A non-empty list is not a failure: relaxed outcomes need the
+// timing dice to land, and some (like IRIW's) are rare.
+func (r *Report) Unwitnessed() []string {
+	var missing []string
+	for _, k := range r.Allowed {
+		if r.Witnessed[k] == 0 {
+			missing = append(missing, k)
+		}
+	}
+	return missing
+}
+
+// splitmix64 steps the driver's private PRNG stream.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// variation is one drawn machine configuration.
+type variation struct {
+	cacheSize int
+	lineSize  int
+	mshrs     int
+	netBuf    int
+	loadDelay int
+	faults    robust.Faults
+	stagger   []int
+	layout    Layout
+	warm      []uint64
+}
+
+func (v variation) String() string {
+	s := fmt.Sprintf("cache=%d line=%d mshrs=%d netbuf=%d ld=%d base=%d warm=%v stagger=%v",
+		v.cacheSize, v.lineSize, v.mshrs, v.netBuf, v.loadDelay, v.layout.Base, v.warm, v.stagger)
+	if v.faults.Enabled() {
+		s += fmt.Sprintf(" faults=p%g/d%d", v.faults.DelayProb, v.faults.MaxExtraDelay)
+	}
+	return s
+}
+
+// drawVariation derives run i's configuration from the seed stream.
+func drawVariation(x *uint64, threads int) variation {
+	pick := func(vals []int) int { return vals[splitmix64(x)%uint64(len(vals))] }
+	v := variation{
+		cacheSize: pick([]int{512, 1024, 2048}),
+		lineSize:  pick([]int{8, 16, 32, 64}),
+		mshrs:     pick([]int{2, 5}),
+		netBuf:    pick([]int{1, 2, 4}),
+		loadDelay: pick([]int{1, 2, 4, 7}),
+		stagger:   make([]int, threads),
+		// A word-granular base offset reshuffles which home module
+		// each location maps to, run by run.
+		layout: Layout{Base: locBase + 8*(splitmix64(x)%32)},
+		warm:   make([]uint64, threads),
+	}
+	// Per-thread warm mask: 1/4 cold, 1/4 fully warmed, 1/2 a random
+	// subset of locations. Full warming makes a thread's loads hit
+	// (bind-early, enabling store-load reordering); a partial mask
+	// mixes hit-early and miss-late loads within one thread, which is
+	// what reorders a thread's own loads (load buffering, IRIW).
+	for t := range v.warm {
+		switch splitmix64(x) % 4 {
+		case 0:
+			v.warm[t] = 0
+		case 1:
+			v.warm[t] = 0xff // every location (tests use far fewer than 8)
+		default:
+			v.warm[t] = splitmix64(x) & 0xff
+		}
+	}
+	if splitmix64(x)%2 == 0 {
+		v.faults = robust.Faults{
+			Seed:          int64(splitmix64(x)),
+			DelayProb:     []float64{0.1, 0.25, 0.5}[splitmix64(x)%3],
+			MaxExtraDelay: int(splitmix64(x)%8) + 1,
+		}
+	}
+	for t := range v.stagger {
+		v.stagger[t] = int(splitmix64(x) % 8)
+	}
+	return v
+}
+
+// haltProg occupies processors beyond the test's threads.
+var haltProg = []isa.Inst{{Op: isa.HALT}}
+
+// procsFor rounds a thread count up to a valid processor count.
+func procsFor(threads int) int {
+	p := 2
+	for p < threads {
+		p *= 2
+	}
+	return p
+}
+
+// RunOne executes a single seeded run of a test under a model and
+// returns the observed outcome key.
+func RunOne(t *Test, model consistency.Model, seed int64, mutate consistency.Mutation) (string, error) {
+	x := uint64(seed)
+	splitmix64(&x) // decorrelate consecutive seeds
+	threads := t.NumThreads()
+	v := drawVariation(&x, threads)
+
+	progs, refs, err := t.Programs(v.layout, v.stagger, v.warm)
+	if err != nil {
+		return "", err
+	}
+	procs := procsFor(threads)
+	all := make([][]isa.Inst, procs)
+	for i := range all {
+		if i < len(progs) {
+			all[i] = progs[i]
+		} else {
+			all[i] = haltProg
+		}
+	}
+
+	cfg := machine.Config{
+		Procs:       procs,
+		Model:       model,
+		CacheSize:   v.cacheSize,
+		LineSize:    v.lineSize,
+		MSHRs:       v.mshrs,
+		NetBuf:      v.netBuf,
+		LoadDelay:   v.loadDelay,
+		SharedWords: 1 << 11,
+		Faults:      v.faults,
+		Mutate:      mutate,
+	}
+	m, err := machine.New(cfg, all)
+	if err != nil {
+		return "", fmt.Errorf("litmus: %s/%s seed %d (%s): %w", t.Name, model, seed, v, err)
+	}
+	if _, err := m.Run(runBudget); err != nil {
+		return "", fmt.Errorf("litmus: %s/%s seed %d (%s): %w", t.Name, model, seed, v, err)
+	}
+
+	o := Outcome{
+		Loads: make([]uint64, len(refs)),
+		Mem:   make([]uint64, t.NLocs),
+	}
+	for i, r := range refs {
+		o.Loads[i] = m.CPU(r.Thread).Reg(r.Reg)
+	}
+	for l := 0; l < t.NLocs; l++ {
+		o.Mem[l] = m.ReadWord(v.layout.Addr(l))
+	}
+	return t.Key(refs, o), nil
+}
+
+// Run executes the full perturbed conformance sweep of one test under
+// one model and returns the verdict report. The allowed set always
+// reflects the unmutated model contract.
+func Run(t *Test, model consistency.Model, cfg Config) (*Report, error) {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 100
+	}
+	spec := consistency.SpecFor(model)
+	allowed := t.Allowed(spec)
+
+	rep := &Report{
+		Test:      t.Name,
+		Model:     model.String(),
+		Runs:      cfg.Runs,
+		Allowed:   t.AllowedKeys(spec),
+		Witnessed: make(map[string]int),
+	}
+	for i := 0; i < cfg.Runs; i++ {
+		seed := cfg.Seed + int64(i)
+		key, err := RunOne(t, model, seed, cfg.Mutate)
+		if err != nil {
+			return nil, err
+		}
+		rep.Witnessed[key]++
+		if !allowed[key] {
+			x := uint64(seed)
+			splitmix64(&x)
+			v := drawVariation(&x, t.NumThreads())
+			rep.Violations = append(rep.Violations, Violation{
+				Seed:    seed,
+				Config:  v.String(),
+				Outcome: key,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// WitnessedKeys returns the witnessed outcome keys, sorted.
+func (r *Report) WitnessedKeys() []string {
+	keys := make([]string, 0, len(r.Witnessed))
+	for k := range r.Witnessed {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -45,6 +45,11 @@ type Config struct {
 	StallCycles int           // watchdog: fail if no instruction retires for this many cycles; 0 disables
 	CheckEvery  int           // coherence invariant check interval in cycles; 0 disables
 	Faults      robust.Faults // deterministic network fault injection; zero value disables
+
+	// Mutate seeds a deliberate spec defect for the litmus harness's
+	// self-check (see consistency.Mutation). Excluded from Result
+	// checksums: a mutated run is never a golden run.
+	Mutate consistency.Mutation `json:"-"`
 }
 
 // withDefaults fills in the paper's default parameters.
@@ -223,7 +228,7 @@ func New(cfg Config, progs [][]isa.Inst) (*Machine, error) {
 
 	m := &Machine{
 		cfg:    cfg,
-		spec:   consistency.SpecFor(cfg.Model),
+		spec:   cfg.Mutate.Apply(consistency.SpecFor(cfg.Model)),
 		shared: make([]uint64, cfg.SharedWords),
 	}
 	m.words = cfg.LineSize / 8

@@ -369,3 +369,57 @@ func TestPeriodicCheckpointCallback(t *testing.T) {
 		t.Errorf("restore from periodic checkpoint drifted\n  want %s\n  got  %s", full.Checksum(), res2.Checksum())
 	}
 }
+
+// TestWatchdogStallSurvivesRestore guards the stall watchdog's state
+// across a snapshot/restore round trip. The watchdog counts quiescent
+// cycles toward StallCycles; if that progress (or the last-progress
+// marker it measures from) were dropped or reset by Restore, a
+// restored run would fire the stall verdict at a different cycle than
+// the uninterrupted run — or never. The test deadlocks one CPU on a
+// load whose line is never supplied (LD against an address with no
+// store in flight would normally fill; here the stall comes from the
+// watchdog's quiescence bound being hit first), records the stall
+// cycle of the uninterrupted run, then pauses at several points
+// before the stall, round-trips through snapshot bytes, and requires
+// the restored machine to report the identical stall cycle.
+func TestWatchdogStallSurvivesRestore(t *testing.T) {
+	prog := []isa.Inst{
+		{Op: isa.ADDI, Rd: 5, Rs1: 5, Imm: 1},
+		{Op: isa.ADDI, Rd: 5, Rs1: 5, Imm: 1},
+		{Op: isa.ADDI, Rd: 5, Rs1: 5, Imm: 1},
+		{Op: isa.LI, Rd: 3, Imm: 0x100},
+		{Op: isa.LD, Rd: 4, Rs1: 3},
+		{Op: isa.ADD, Rd: 6, Rs1: 4, Rs2: 4},
+		{Op: isa.HALT},
+	}
+	cfg := snapCfg(0)
+	cfg.Procs = 4
+	cfg.StallCycles = 4 // tight bound: the fill takes longer than this
+	build := func() *Machine {
+		m, err := New(cfg, onlyCPU0(cfg.Procs, prog))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	_, err := build().Run(1_000_000)
+	se := asSimError(t, err, robust.Stall)
+
+	for _, pause := range []uint64{1, 2, 3, 5, 7} {
+		if pause >= uint64(se.Cycle) {
+			continue
+		}
+		m1 := build()
+		_, perr := m1.RunControlled(RunControl{Until: pause})
+		if !errors.Is(perr, ErrPaused) {
+			t.Fatalf("pause at %d: %v", pause, perr)
+		}
+		m2 := roundTrip(t, m1, build)
+		_, rerr := m2.Run(1_000_000)
+		se2 := asSimError(t, rerr, robust.Stall)
+		if se2.Cycle != se.Cycle {
+			t.Errorf("pause %d: restored watchdog stalled at cycle %d, uninterrupted run at %d",
+				pause, se2.Cycle, se.Cycle)
+		}
+	}
+}

@@ -2,7 +2,9 @@ package sim
 
 import (
 	"math/rand"
+	"os"
 	"testing"
+	"time"
 )
 
 // Differential test: the Engine's execution order is compared against
@@ -112,19 +114,43 @@ func runScript(s scheduler, seed int64, size int) []traceEntry {
 	return trace
 }
 
-func TestEngineMatchesReference(t *testing.T) {
-	for seed := int64(1); seed <= 12; seed++ {
-		var e Engine
-		got := runScript(&e, seed, 3000)
-		want := runScript(&refSched{}, seed, 3000)
-		if len(got) != len(want) {
-			t.Fatalf("seed %d: trace lengths differ: engine %d, reference %d", seed, len(got), len(want))
-		}
-		for i := range got {
-			if got[i] != want[i] {
-				t.Fatalf("seed %d: traces diverge at step %d: engine %+v, reference %+v",
-					seed, i, got[i], want[i])
-			}
+func diffOneSeed(t *testing.T, seed int64, size int) {
+	t.Helper()
+	var e Engine
+	got := runScript(&e, seed, size)
+	want := runScript(&refSched{}, seed, size)
+	if len(got) != len(want) {
+		t.Fatalf("seed %d: trace lengths differ: engine %d, reference %d", seed, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("seed %d: traces diverge at step %d: engine %+v, reference %+v",
+				seed, i, got[i], want[i])
 		}
 	}
+}
+
+func TestEngineMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		diffOneSeed(t, seed, 3000)
+	}
+}
+
+// TestEngineMatchesReferenceExtended is the long-budget sweep for
+// nightly CI: thousands of seeds at a larger schedule size. Gated on
+// MEMSIM_EXTENDED so the default test run stays fast.
+func TestEngineMatchesReferenceExtended(t *testing.T) {
+	if os.Getenv("MEMSIM_EXTENDED") == "" {
+		t.Skip("set MEMSIM_EXTENDED=1 for the extended differential sweep")
+	}
+	deadline := time.Now().Add(5 * time.Minute)
+	if d, ok := t.Deadline(); ok && d.Before(deadline) {
+		deadline = d.Add(-30 * time.Second)
+	}
+	seed := int64(1)
+	for time.Now().Before(deadline) {
+		diffOneSeed(t, seed, 20000)
+		seed++
+	}
+	t.Logf("extended differential sweep: %d seeds checked", seed-1)
 }

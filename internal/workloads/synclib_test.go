@@ -180,3 +180,98 @@ func TestLockMutualExclusionStress(t *testing.T) {
 		}
 	}
 }
+
+// TestLockContentionSmallMachines drives the spin lock at the small
+// processor counts the litmus harness uses (2 and 4 CPUs) under every
+// model, across several cache geometries — including ones where the
+// lock and counter contend for the same few sets. Mutual exclusion is
+// asserted through final memory: any critical-section overlap loses
+// increments.
+func TestLockContentionSmallMachines(t *testing.T) {
+	const iters = 20
+	geoms := []struct{ cacheSize, lineSize int }{
+		{512, 64},
+		{512, 8},
+		{2048, 32},
+	}
+	for _, procs := range []int{2, 4} {
+		for _, g := range geoms {
+			a := NewAlloc()
+			lock := a.Line()
+			counter := a.Line()
+			b := progb.New()
+			lr := b.Alloc()
+			cr := b.Alloc()
+			i := b.Alloc()
+			iEnd := b.Alloc()
+			v := b.Alloc()
+			b.LiU(lr, lock)
+			b.LiU(cr, counter)
+			b.Li(iEnd, iters)
+			b.ForRange(i, 0, iEnd, 1, func() {
+				EmitLock(b, lr)
+				b.Ld(v, cr, 0)
+				b.Addi(v, v, 1)
+				b.St(cr, 0, v)
+				EmitUnlock(b, lr)
+			})
+			b.Halt()
+			prog := b.MustBuild()
+			for _, model := range testModels {
+				cfg := machine.Config{
+					Procs: procs, Model: model, CacheSize: g.cacheSize, LineSize: g.lineSize,
+					SharedWords: a.WordsUsed(),
+				}
+				progs := make([][]isa.Inst, procs)
+				progs[0] = prog
+				m, err := machine.New(cfg, progs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := m.Run(200_000_000); err != nil {
+					t.Fatalf("procs=%d cache=%d line=%d %v: %v", procs, g.cacheSize, g.lineSize, model, err)
+				}
+				if got := m.Shared()[counter/8]; got != uint64(procs*iters) {
+					t.Errorf("procs=%d cache=%d line=%d %v: counter = %d, want %d (mutual exclusion violated)",
+						procs, g.cacheSize, g.lineSize, model, got, procs*iters)
+				}
+			}
+		}
+	}
+}
+
+// TestBarrierSmallMachines runs the sense-reversing barrier at 2 and
+// 4 CPUs under every model, asserting via final memory that every CPU
+// completed every round and nobody leaked through a crossing early.
+func TestBarrierSmallMachines(t *testing.T) {
+	const rounds = 3
+	for _, procs := range []int{2, 4} {
+		for _, model := range testModels {
+			a := NewAlloc()
+			bar := AllocBarrier(a)
+			stampBase := a.Bytes(uint64(procs+1)*8, 64)
+			prog := barrierProgram(t, bar, rounds, stampBase, procs)
+			cfg := machine.Config{
+				Procs: procs, Model: model, CacheSize: 512, LineSize: 16,
+				SharedWords: a.WordsUsed(),
+			}
+			progs := make([][]isa.Inst, procs)
+			progs[0] = prog
+			m, err := machine.New(cfg, progs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Run(100_000_000); err != nil {
+				t.Fatalf("procs=%d %v: %v", procs, model, err)
+			}
+			if m.Shared()[(stampBase+uint64(procs)*8)/8] != 0 {
+				t.Errorf("procs=%d %v: barrier leaked a processor through early", procs, model)
+			}
+			for i := 0; i < procs; i++ {
+				if got := m.Shared()[stampBase/8+uint64(i)]; got != rounds {
+					t.Errorf("procs=%d %v: cpu %d finished %d rounds, want %d", procs, model, i, got, rounds)
+				}
+			}
+		}
+	}
+}
