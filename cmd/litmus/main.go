@@ -14,15 +14,22 @@
 //	litmus -mutate sc-overlap        # seed the self-check defect
 //
 // Exit status is nonzero if any run produced an outcome outside its
-// model's allowed set.
+// model's allowed set. SIGINT/SIGTERM stops the sweep cleanly: the
+// in-flight simulation is canceled at its next context poll, every
+// completed (test, model) pair is reported in full, the interrupted
+// pair reports the partial coverage it gathered, and the process
+// exits 130.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"memsim/internal/consistency"
 	"memsim/internal/litmus"
@@ -64,17 +71,27 @@ func main() {
 		fatal(fmt.Errorf("unknown mutation %q (try sc-overlap)", *mutate))
 	}
 
-	cfg := litmus.Config{Runs: *runs, Seed: *seed, Mutate: mut}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	cfg := litmus.Config{Runs: *runs, Seed: *seed, Mutate: mut, Ctx: ctx}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	violations := 0
+	violations, pairs, ranPairs := 0, len(tests)*len(models), 0
+	interrupted := false
 	for _, t := range tests {
 		for _, m := range models {
+			if ctx.Err() != nil {
+				interrupted = true
+				break
+			}
 			rep, err := litmus.Run(t, m, cfg)
 			if err != nil {
 				fatal(err)
 			}
+			ranPairs++
 			violations += len(rep.Violations)
+			interrupted = interrupted || rep.Interrupted
 			if *jsonF {
 				if err := enc.Encode(rep); err != nil {
 					fatal(err)
@@ -87,6 +104,11 @@ func main() {
 	if violations > 0 {
 		fmt.Fprintf(os.Stderr, "litmus: %d outcome(s) outside the allowed set\n", violations)
 		os.Exit(1)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "litmus: interrupted — partial coverage (%d of %d (test, model) pairs started)\n",
+			ranPairs, pairs)
+		os.Exit(130)
 	}
 }
 
@@ -124,6 +146,9 @@ func printReport(r *litmus.Report) {
 	verdict := "PASS"
 	if !r.OK() {
 		verdict = "FAIL"
+	}
+	if r.Interrupted {
+		verdict = "PART"
 	}
 	allowed := make(map[string]bool, len(r.Allowed))
 	for _, k := range r.Allowed {

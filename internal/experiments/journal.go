@@ -20,6 +20,17 @@ const (
 	StatusDone    Status = "done"
 	StatusFailed  Status = "failed"
 
+	// StatusQueued records an accepted-but-not-started job. The sweep
+	// driver starts runs immediately and never writes it; the memsimd
+	// job queue journals admission with it so a crashed server re-admits
+	// its backlog on restart.
+	StatusQueued Status = "queued"
+	// StatusPreempted records a run that was checkpointed and requeued
+	// (drain, reprioritization) rather than failed; replay treats it
+	// like StatusQueued and the next execution resumes from the run's
+	// checkpoint.
+	StatusPreempted Status = "preempted"
+
 	// StatusSweepEnd is the journal's terminal marker: the sweep ran to
 	// completion (even if every experiment failed) and the journal is
 	// final. Its absence from a replayed journal means the sweep was

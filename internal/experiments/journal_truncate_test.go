@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"memsim/internal/consistency"
+	"memsim/internal/machine"
+)
+
+// TestJournalCrashTailTruncation chops a journal at every byte offset
+// of its final record — every possible kill -9 point during the last
+// append — and asserts that replay recovers exactly the complete
+// entries and flags the interruption (no sweep-end marker survives a
+// torn tail).
+func TestJournalCrashTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+
+	res := machine.Result{Cycles: 12345}
+	entries := []JournalEntry{
+		{Key: "Gauss/SC1/cache1K/line8", Spec: RunSpec{Bench: BGauss, Model: consistency.SC1, CacheSize: 1 << 10, LineSize: 8}, Status: StatusRunning},
+		{Key: "Gauss/SC1/cache1K/line8", Spec: RunSpec{Bench: BGauss, Model: consistency.SC1, CacheSize: 1 << 10, LineSize: 8}, Status: StatusDone, Checksum: res.Checksum(), Result: &res},
+		{Key: "Qsort/WO1/cache1K/line8", Spec: RunSpec{Bench: BQsort, Model: consistency.WO1, CacheSize: 1 << 10, LineSize: 8}, Status: StatusRunning},
+	}
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Finish(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find where the final record (the sweep-end marker) begins:
+	// the byte after the second-to-last newline.
+	last := len(full) - 1 // trailing '\n'
+	start := 0
+	for i := last - 1; i >= 0; i-- {
+		if full[i] == '\n' {
+			start = i + 1
+			break
+		}
+	}
+	if start == 0 {
+		t.Fatalf("journal has a single line; test needs several: %q", full)
+	}
+
+	truncated := filepath.Join(dir, "truncated.jsonl")
+	for cut := start; cut <= len(full); cut++ {
+		if err := os.WriteFile(truncated, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReplayJournal(truncated)
+		if err != nil {
+			t.Fatalf("cut at byte %d/%d: replay failed: %v", cut, len(full), err)
+		}
+		wantComplete := len(entries)
+		finished := false
+		// The final record survives once its JSON is complete — with or
+		// without the trailing newline the crash cut off.
+		if cut >= last {
+			wantComplete++
+			finished = true
+		}
+		if len(got) != wantComplete {
+			t.Fatalf("cut at byte %d/%d: replayed %d entries, want %d", cut, len(full), len(got), wantComplete)
+		}
+		for i := range entries {
+			if got[i].Key != entries[i].Key || got[i].Status != entries[i].Status {
+				t.Fatalf("cut at byte %d: entry %d is %s/%s, want %s/%s",
+					cut, i, got[i].Key, got[i].Status, entries[i].Key, entries[i].Status)
+			}
+		}
+		// The interruption flag: a torn tail must read as an unfinished
+		// sweep (no terminal marker), and the done entry it preserved
+		// must still verify its checksum.
+		gotFinished := len(got) > 0 && got[len(got)-1].Status == StatusSweepEnd
+		if gotFinished != finished {
+			t.Fatalf("cut at byte %d: finished=%v, want %v", cut, gotFinished, finished)
+		}
+		if got[1].Result == nil || got[1].Result.Checksum() != got[1].Checksum {
+			t.Fatalf("cut at byte %d: recovered done entry fails checksum verification", cut)
+		}
+	}
+
+	// Corruption that is not a tail — a mangled line with valid data
+	// after it — must still be an error, not silently dropped.
+	bad := append([]byte{}, full[:start]...)
+	bad = append(bad, []byte("{torn}\n")...)
+	bad = append(bad, full[start:]...)
+	if err := os.WriteFile(truncated, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayJournal(truncated); err == nil {
+		t.Fatal("mid-file corruption replayed without error")
+	}
+}

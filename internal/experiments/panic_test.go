@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"memsim/internal/consistency"
+	"memsim/internal/robust"
+)
+
+// TestRunnerRecoversPanicToSimError feeds the Runner a poisoned spec —
+// an unknown benchmark, whose workload constructor panics — and
+// requires the panic to come back as a typed Panic SimError carrying
+// the goroutine stack, with the Runner still usable afterwards.
+func TestRunnerRecoversPanicToSimError(t *testing.T) {
+	p := Quick()
+	r := NewRunner(p)
+
+	_, err := r.Run(RunSpec{Bench: Bench("Bogus"), Model: consistency.SC1,
+		CacheSize: p.SmallCache, LineSize: 8})
+	if err == nil {
+		t.Fatal("poisoned spec ran without error")
+	}
+	var se *robust.SimError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is %T (%v), want *robust.SimError", err, err)
+	}
+	if se.Kind != robust.Panic {
+		t.Fatalf("error kind is %v, want panic", se.Kind)
+	}
+	if !strings.Contains(se.Dump, "goroutine") {
+		t.Errorf("panic SimError carries no stack dump: %q", se.Dump)
+	}
+	if !strings.Contains(se.Detail, "unknown benchmark") {
+		t.Errorf("panic detail lost the panic value: %q", se.Detail)
+	}
+
+	// The Runner (and any worker pool over it) survives: a healthy spec
+	// still runs to completion.
+	if _, err := r.Run(RunSpec{Bench: BGauss, Model: consistency.SC1,
+		CacheSize: p.SmallCache, LineSize: 8}); err != nil {
+		t.Fatalf("runner poisoned by earlier panic: %v", err)
+	}
+}
+
+// TestRunnerPanicDoesNotKillPool mimics a sweep worker pool: several
+// goroutines run a mix of poisoned and healthy specs concurrently.
+// Every poisoned spec must fail typed, every healthy spec must
+// succeed, and no goroutine may die to a propagating panic.
+func TestRunnerPanicDoesNotKillPool(t *testing.T) {
+	p := Quick()
+	r := NewRunner(p)
+	specs := []RunSpec{
+		{Bench: Bench("Poison0"), Model: consistency.SC1, CacheSize: p.SmallCache, LineSize: 8},
+		{Bench: BGauss, Model: consistency.SC1, CacheSize: p.SmallCache, LineSize: 8},
+		{Bench: Bench("Poison1"), Model: consistency.WO1, CacheSize: p.SmallCache, LineSize: 8},
+		{Bench: BRelax, Model: consistency.WO1, CacheSize: p.SmallCache, LineSize: 8},
+	}
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, s := range specs {
+		i, s := i, s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = r.Run(s)
+		}()
+	}
+	wg.Wait()
+	for i, s := range specs {
+		poisoned := strings.HasPrefix(string(s.Bench), "Poison")
+		if poisoned {
+			var se *robust.SimError
+			if !errors.As(errs[i], &se) || se.Kind != robust.Panic {
+				t.Errorf("spec %d (%s): err = %v, want typed panic SimError", i, s.Bench, errs[i])
+			}
+		} else if errs[i] != nil {
+			t.Errorf("spec %d (%s): %v", i, s.Bench, errs[i])
+		}
+	}
+
+	// OnFailure must have seen the typed failures (the sweep journals
+	// and dumps them); make sure hooks fire for panics too.
+	var mu sync.Mutex
+	fails := 0
+	r2 := NewRunner(p)
+	r2.OnFailure = func(key string, spec RunSpec, err error) {
+		mu.Lock()
+		fails++
+		mu.Unlock()
+	}
+	r2.Run(RunSpec{Bench: Bench("Poison2"), Model: consistency.SC1, CacheSize: p.SmallCache, LineSize: 8})
+	if fails != 1 {
+		t.Errorf("OnFailure fired %d times for a panicking run, want 1", fails)
+	}
+}

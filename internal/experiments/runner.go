@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
@@ -54,6 +55,12 @@ type RunSpec struct {
 type CheckpointPolicy struct {
 	Dir   string
 	Every uint64 // simulated cycles between checkpoints; 0 checkpoints only on cancellation
+
+	// Write, when non-nil, replaces machine.WriteSnapshotFile for
+	// checkpoint persistence. Fault-injection harnesses hook disk-full
+	// and short-write failures here; a failed write never fails the
+	// run — it only coarsens crash-recovery granularity.
+	Write func(path string, s *machine.Snapshot) error
 }
 
 // Runner executes simulations for a parameter preset, memoizing
@@ -213,8 +220,23 @@ func (r *Runner) Seed(entries []JournalEntry) int {
 }
 
 // Run executes (or recalls) one configuration, validating the
-// workload's result.
+// workload's result. It is RunCtx under the Runner-wide BaseCtx.
 func (r *Runner) Run(s RunSpec) (machine.Result, error) {
+	return r.RunCtx(nil, s)
+}
+
+// RunCtx is Run with a per-call context layered over BaseCtx (nil
+// falls back to BaseCtx alone). Orchestrators that preempt or time out
+// individual jobs — rather than whole sweeps — cancel here: the
+// in-flight attempt writes a final checkpoint and fails with a
+// Canceled SimError, and a later call resumes from that checkpoint. A
+// caller waiting on another goroutine's identical in-flight run stops
+// waiting when its own context is canceled; the flight itself keeps
+// the context it was started with.
+func (r *Runner) RunCtx(ctx context.Context, s RunSpec) (machine.Result, error) {
+	if ctx == nil {
+		ctx = r.BaseCtx
+	}
 	s = r.normalize(s)
 	for {
 		r.mu.Lock()
@@ -233,9 +255,17 @@ func (r *Runner) Run(s RunSpec) (machine.Result, error) {
 		// Another goroutine is running this spec: wait for it, then
 		// re-check the cache. Errors are not cached, so a failed flight
 		// lets the next waiter retry.
-		<-done
+		if ctx != nil {
+			select {
+			case <-done:
+			case <-ctx.Done():
+				return machine.Result{}, ctx.Err()
+			}
+		} else {
+			<-done
+		}
 	}
-	res, err := r.execute(s)
+	res, err := r.execute(ctx, s)
 	r.mu.Lock()
 	if err == nil {
 		r.cache[s] = res
@@ -250,7 +280,7 @@ func (r *Runner) Run(s RunSpec) (machine.Result, error) {
 // execute performs one simulation run for a normalized spec, with
 // retry/backoff around individual attempts and lifecycle hooks around
 // the whole execution.
-func (r *Runner) execute(s RunSpec) (machine.Result, error) {
+func (r *Runner) execute(ctx context.Context, s RunSpec) (machine.Result, error) {
 	key := describe(s)
 	if r.OnStart != nil {
 		r.OnStart(key, s)
@@ -258,7 +288,7 @@ func (r *Runner) execute(s RunSpec) (machine.Result, error) {
 	var res machine.Result
 	var err error
 	for attempt := 0; ; attempt++ {
-		res, err = r.attempt(s, key)
+		res, err = r.attempt(ctx, s, key)
 		if err == nil {
 			break
 		}
@@ -267,7 +297,7 @@ func (r *Runner) execute(s RunSpec) (machine.Result, error) {
 		}
 		wait := r.Backoff << attempt
 		r.logf("  retrying %s in %v (attempt %d/%d): %v\n", key, wait, attempt+1, r.Retries, err)
-		if !r.sleep(wait) {
+		if !r.sleep(ctx, wait) {
 			break // canceled while backing off
 		}
 	}
@@ -304,12 +334,12 @@ func retryable(err error) bool {
 	return false
 }
 
-// sleep waits d, returning early (false) if BaseCtx is canceled.
-func (r *Runner) sleep(d time.Duration) bool {
+// sleep waits d, returning early (false) if ctx is canceled.
+func (r *Runner) sleep(ctx context.Context, d time.Duration) bool {
 	if d <= 0 {
-		return r.BaseCtx == nil || r.BaseCtx.Err() == nil
+		return ctx == nil || ctx.Err() == nil
 	}
-	if r.BaseCtx == nil {
+	if ctx == nil {
 		time.Sleep(d)
 		return true
 	}
@@ -318,7 +348,7 @@ func (r *Runner) sleep(d time.Duration) bool {
 	select {
 	case <-t.C:
 		return true
-	case <-r.BaseCtx.Done():
+	case <-ctx.Done():
 		return false
 	}
 }
@@ -362,8 +392,28 @@ func (r *Runner) build(s RunSpec, w workloads.Workload) (*machine.Machine, *metr
 }
 
 // attempt performs one fresh simulation attempt for a normalized spec,
-// resuming from a valid checkpoint when one exists.
-func (r *Runner) attempt(s RunSpec, key string) (machine.Result, error) {
+// resuming from a valid checkpoint when one exists. Foreign panics
+// anywhere in the attempt — workload construction, setup, validation,
+// or a genuine simulator bug escaping RunControlled — are recovered
+// into a typed Panic SimError carrying the goroutine stack, so one
+// poisoned config fails its own run instead of killing the caller's
+// worker goroutine.
+func (r *Runner) attempt(ctx context.Context, s RunSpec, key string) (res machine.Result, err error) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		se, typed := robust.Recovered(rec)
+		if !typed {
+			se = &robust.SimError{
+				Kind: robust.Panic, Component: "runner", Unit: -1,
+				Detail: fmt.Sprint(rec),
+				Dump:   string(debug.Stack()),
+			}
+		}
+		res, err = machine.Result{}, fmt.Errorf("experiments: %s: %w", key, se)
+	}()
 	p := r.Params
 	w := r.workload(s)
 	m, mc, err := r.build(s, w)
@@ -386,7 +436,7 @@ func (r *Runner) attempt(s RunSpec, key string) (machine.Result, error) {
 				restored = true
 				r.logf("  resumed %s from checkpoint at cycle %d\n", key, m.Eng.Now())
 			}
-		} else if !os.IsNotExist(rerr) {
+		} else if !errors.Is(rerr, os.ErrNotExist) {
 			r.logf("  checkpoint for %s unreadable (%v); rerunning\n", key, rerr)
 		}
 	}
@@ -394,7 +444,6 @@ func (r *Runner) attempt(s RunSpec, key string) (machine.Result, error) {
 		w.Setup(m.Shared())
 	}
 
-	ctx := r.BaseCtx
 	if r.Timeout > 0 {
 		base := ctx
 		if base == nil {
@@ -409,16 +458,27 @@ func (r *Runner) attempt(s RunSpec, key string) (machine.Result, error) {
 		// With a checkpoint path, a canceled or timed-out run always
 		// saves a final snapshot, so resume loses no progress even when
 		// CheckpointEvery is zero.
+		write := r.Ckpt.Write
+		if write == nil {
+			write = machine.WriteSnapshotFile
+		}
 		rc.CheckpointEvery = r.Ckpt.Every
 		rc.Checkpoint = func() error {
 			snap, serr := m.Snapshot()
 			if serr != nil {
-				return serr
+				return serr // the machine failing to snapshot itself is a real bug
 			}
-			return machine.WriteSnapshotFile(ckpt, snap)
+			if werr := write(ckpt, snap); werr != nil {
+				// A checkpoint that cannot reach disk (full disk, short
+				// write) must not fail a run that is computing fine: the
+				// result does not depend on it, only how much a crash
+				// would lose. Log and keep simulating.
+				r.logf("  checkpoint write for %s failed (%v); continuing\n", key, werr)
+			}
+			return nil
 		}
 	}
-	res, err := m.RunControlled(rc)
+	res, err = m.RunControlled(rc)
 	if err != nil {
 		return machine.Result{}, fmt.Errorf("experiments: %s: %w", key, err)
 	}

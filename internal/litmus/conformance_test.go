@@ -89,11 +89,11 @@ func TestRunOneDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	for seed := int64(1); seed <= 20; seed++ {
-		a, err := RunOne(lt, consistency.WO1, seed, consistency.MutNone)
+		a, err := RunOne(nil, lt, consistency.WO1, seed, consistency.MutNone)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := RunOne(lt, consistency.WO1, seed, consistency.MutNone)
+		b, err := RunOne(nil, lt, consistency.WO1, seed, consistency.MutNone)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,8 @@
 package litmus
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -33,6 +35,12 @@ type Config struct {
 	// allowed set still comes from the unmutated model contract — that
 	// is the point: a real defect must escape it.
 	Mutate consistency.Mutation
+
+	// Ctx, when non-nil, cancels the sweep (e.g. from a SIGINT
+	// handler): the current simulated run stops at its next context
+	// poll and Run returns the partial report with Interrupted set,
+	// instead of an error.
+	Ctx context.Context
 }
 
 // Violation is one observed outcome outside the model's allowed set.
@@ -42,14 +50,17 @@ type Violation struct {
 	Outcome string `json:"outcome"`
 }
 
-// Report is the verdict of one (test, model) conformance run.
+// Report is the verdict of one (test, model) conformance run. When
+// Interrupted is set, Runs is how many runs actually completed before
+// cancellation and the witnessed counts are a partial coverage view.
 type Report struct {
-	Test       string         `json:"test"`
-	Model      string         `json:"model"`
-	Runs       int            `json:"runs"`
-	Allowed    []string       `json:"allowed"`
-	Witnessed  map[string]int `json:"witnessed"`
-	Violations []Violation    `json:"violations,omitempty"`
+	Test        string         `json:"test"`
+	Model       string         `json:"model"`
+	Runs        int            `json:"runs"`
+	Allowed     []string       `json:"allowed"`
+	Witnessed   map[string]int `json:"witnessed"`
+	Violations  []Violation    `json:"violations,omitempty"`
+	Interrupted bool           `json:"interrupted,omitempty"`
 }
 
 // OK reports whether every observed outcome was allowed.
@@ -155,8 +166,10 @@ func procsFor(threads int) int {
 }
 
 // RunOne executes a single seeded run of a test under a model and
-// returns the observed outcome key.
-func RunOne(t *Test, model consistency.Model, seed int64, mutate consistency.Mutation) (string, error) {
+// returns the observed outcome key. A nil ctx runs uninterruptible; a
+// canceled ctx surfaces as a Canceled SimError unwrapping to the
+// context error.
+func RunOne(ctx context.Context, t *Test, model consistency.Model, seed int64, mutate consistency.Mutation) (string, error) {
 	x := uint64(seed)
 	splitmix64(&x) // decorrelate consecutive seeds
 	threads := t.NumThreads()
@@ -192,7 +205,7 @@ func RunOne(t *Test, model consistency.Model, seed int64, mutate consistency.Mut
 	if err != nil {
 		return "", fmt.Errorf("litmus: %s/%s seed %d (%s): %w", t.Name, model, seed, v, err)
 	}
-	if _, err := m.Run(runBudget); err != nil {
+	if _, err := m.RunControlled(machine.RunControl{MaxEvents: runBudget, Ctx: ctx}); err != nil {
 		return "", fmt.Errorf("litmus: %s/%s seed %d (%s): %w", t.Name, model, seed, v, err)
 	}
 
@@ -227,9 +240,19 @@ func Run(t *Test, model consistency.Model, cfg Config) (*Report, error) {
 		Witnessed: make(map[string]int),
 	}
 	for i := 0; i < cfg.Runs; i++ {
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			rep.Runs, rep.Interrupted = i, true
+			return rep, nil
+		}
 		seed := cfg.Seed + int64(i)
-		key, err := RunOne(t, model, seed, cfg.Mutate)
+		key, err := RunOne(cfg.Ctx, t, model, seed, cfg.Mutate)
 		if err != nil {
+			if cfg.Ctx != nil && cfg.Ctx.Err() != nil && errors.Is(err, cfg.Ctx.Err()) {
+				// Canceled mid-run: the partial coverage so far is the
+				// report, not an error.
+				rep.Runs, rep.Interrupted = i, true
+				return rep, nil
+			}
 			return nil, err
 		}
 		rep.Witnessed[key]++

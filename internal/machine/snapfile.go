@@ -25,10 +25,12 @@ const (
 	snapHeader  = 48
 )
 
-// WriteSnapshotFile atomically writes a snapshot: the parent directory
-// is created if needed, the bytes go to a temporary file first, and a
-// rename publishes them, so a crash mid-write never leaves a partial
-// file at path.
+// WriteSnapshotFile atomically and durably writes a snapshot: the
+// parent directory is created if needed, the bytes go to a temporary
+// file which is fsynced before a rename publishes it, and the
+// directory is fsynced after, so neither a crash mid-write nor a power
+// cut right after the rename leaves a partial or vanishing file at
+// path.
 func WriteSnapshotFile(path string, s *Snapshot) error {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(s); err != nil {
@@ -49,14 +51,50 @@ func WriteSnapshotFile(path string, s *Snapshot) error {
 		}
 	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+	if err := writeFileSync(tmp, buf); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("machine: writing snapshot: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("machine: publishing snapshot: %w", err)
 	}
+	syncDir(filepath.Dir(path))
 	return nil
+}
+
+// writeFileSync writes data to path and fsyncs it before closing, so
+// the bytes are on disk before the caller publishes the file.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Best-effort: some filesystems refuse to sync directories, and the
+// rename is already atomic — durability of the entry is all a failure
+// here can cost.
+func syncDir(dir string) {
+	if dir == "" {
+		dir = "."
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
 }
 
 // ReadSnapshotFile reads and verifies a snapshot written by

@@ -41,6 +41,12 @@ const (
 	// Canceled: the run was interrupted from outside — a context
 	// cancellation (signal, timeout) rather than a simulated failure.
 	Canceled
+	// Panic: a worker goroutine recovered a foreign panic (one that is
+	// not a typed Raise) while executing a run. The goroutine stack is
+	// attached as the diagnostic dump, so one poisoned configuration
+	// degrades to a failed run instead of killing a whole sweep or
+	// server worker pool.
+	Panic
 )
 
 func (k Kind) String() string {
@@ -59,6 +65,8 @@ func (k Kind) String() string {
 		return "program"
 	case Canceled:
 		return "canceled"
+	case Panic:
+		return "panic"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }

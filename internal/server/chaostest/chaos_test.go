@@ -1,0 +1,27 @@
+package chaostest
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestChaosSchedules runs the seeded fault schedules. Each seed is an
+// independent world (own state dir, own server lineage) walked through
+// 14 deterministic operations — submissions, kills, drains, panics,
+// snapshot faults, preemptions, overload bursts, stalled clients —
+// and then held to the contract: no accepted job lost, none
+// double-completed, every served checksum byte-identical to a direct
+// Runner. A failing seed reproduces exactly:
+//
+//	go test ./internal/server/chaostest -run 'TestChaosSchedules/seed07'
+func TestChaosSchedules(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := 1; seed <= seeds; seed++ {
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			RunSeed(t, uint64(seed))
+		})
+	}
+}

@@ -1,0 +1,80 @@
+package server
+
+import "sync"
+
+// queue is the bounded admission queue feeding the worker pool. The
+// bound applies only to client admission (TryAdmit): requeues of
+// already-admitted work — preempted jobs, journal replay after a
+// restart — always succeed, so backpressure can never lose a job the
+// server has promised to run.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*Job
+	cap    int
+	closed bool
+}
+
+func newQueue(capacity int) *queue {
+	q := &queue{cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// TryAdmit appends a job if the queue has admission capacity,
+// reporting false (shed) when it is full or closed.
+func (q *queue) TryAdmit(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || len(q.items) >= q.cap {
+		return false
+	}
+	q.items = append(q.items, j)
+	q.cond.Signal()
+	return true
+}
+
+// Requeue appends a job unconditionally (unless the queue is closed,
+// in which case the job stays journaled for the next incarnation).
+func (q *queue) Requeue(j *Job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, j)
+	q.cond.Signal()
+}
+
+// Pop blocks for the next job; ok is false once the queue is closed.
+// Close wins over remaining items — a draining server stops starting
+// work, and whatever is still queued is already journaled.
+func (q *queue) Pop() (j *Job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for !q.closed && len(q.items) == 0 {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return nil, false
+	}
+	j = q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return j, true
+}
+
+// Close wakes every blocked Pop and refuses further work.
+func (q *queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Len reports the current backlog.
+func (q *queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

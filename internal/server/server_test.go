@@ -1,0 +1,480 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"memsim/internal/experiments"
+)
+
+// gate lets tests hold worker goroutines at the run boundary to make
+// queue states (running-but-not-done, full backlog) deterministic.
+type gate struct {
+	mu sync.Mutex
+	ch chan struct{} // nil = open; non-nil = closed until released
+}
+
+func (g *gate) close() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.ch == nil {
+		g.ch = make(chan struct{})
+	}
+}
+
+func (g *gate) open() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.ch != nil {
+		close(g.ch)
+		g.ch = nil
+	}
+}
+
+func (g *gate) wait() {
+	g.mu.Lock()
+	ch := g.ch
+	g.mu.Unlock()
+	if ch != nil {
+		<-ch
+	}
+}
+
+// testClient wraps an httptest server over a Server's handler.
+type testClient struct {
+	t  *testing.T
+	ts *httptest.Server
+}
+
+func newTestClient(t *testing.T, s *Server) *testClient {
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return &testClient{t: t, ts: ts}
+}
+
+func (c *testClient) postJSON(path string, body interface{}) (*http.Response, []byte) {
+	c.t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	resp, err := http.Post(c.ts.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	out.ReadFrom(resp.Body)
+	return resp, out.Bytes()
+}
+
+func (c *testClient) get(path string) (*http.Response, []byte) {
+	c.t.Helper()
+	resp, err := http.Get(c.ts.URL + path)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	out.ReadFrom(resp.Body)
+	return resp, out.Bytes()
+}
+
+func (c *testClient) submit(req SubmitRequest) (JobResponse, int) {
+	c.t.Helper()
+	resp, body := c.postJSON("/api/v1/jobs", req)
+	var jr JobResponse
+	if resp.StatusCode < 400 {
+		if err := json.Unmarshal(body, &jr); err != nil {
+			c.t.Fatalf("decoding %s: %v", body, err)
+		}
+	}
+	return jr, resp.StatusCode
+}
+
+// waitDone long-polls a job until it reaches a terminal state.
+func (c *testClient) waitDone(id string, timeout time.Duration) JobResponse {
+	c.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, body := c.get("/api/v1/jobs/" + id + "?wait=2s")
+		if resp.StatusCode != http.StatusOK {
+			c.t.Fatalf("GET job %s: %d %s", id, resp.StatusCode, body)
+		}
+		var jr JobResponse
+		if err := json.Unmarshal(body, &jr); err != nil {
+			c.t.Fatal(err)
+		}
+		if jr.Status == string(experiments.StatusDone) || jr.Status == string(experiments.StatusFailed) {
+			return jr
+		}
+		if time.Now().After(deadline) {
+			c.t.Fatalf("job %s still %s after %v", id, jr.Status, timeout)
+		}
+	}
+}
+
+var gaussReq = SubmitRequest{Bench: "Gauss", Model: "SC1", CacheSize: 1 << 10, LineSize: 8}
+
+// TestServerSingleFlightContention submits the same spec from many
+// concurrent clients and requires exactly one fresh simulation (one
+// Runner "ran" log line, one BeforeRun firing) with every caller
+// receiving a checksum-identical Result.
+func TestServerSingleFlightContention(t *testing.T) {
+	var log syncBuffer
+	var hookMu sync.Mutex
+	hookRuns := 0
+	s, err := New(Config{
+		Params:  experiments.Quick(),
+		Workers: 4,
+		Log:     &log,
+		Hooks: Hooks{BeforeRun: func(key string) {
+			hookMu.Lock()
+			hookRuns++
+			hookMu.Unlock()
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+	c := newTestClient(t, s)
+
+	const clients = 16
+	var wg sync.WaitGroup
+	checksums := make([]string, clients)
+	for i := 0; i < clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			jr, code := c.submit(gaussReq)
+			if code != http.StatusOK && code != http.StatusAccepted {
+				t.Errorf("client %d: status %d", i, code)
+				return
+			}
+			final := c.waitDone(jr.ID, 30*time.Second)
+			if final.Status != string(experiments.StatusDone) {
+				t.Errorf("client %d: job ended %s (%s)", i, final.Status, final.Error)
+				return
+			}
+			checksums[i] = final.Checksum
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < clients; i++ {
+		if checksums[i] != checksums[0] {
+			t.Errorf("client %d checksum %s != client 0 %s", i, checksums[i], checksums[0])
+		}
+	}
+	if checksums[0] == "" {
+		t.Fatal("no checksum returned")
+	}
+	if n := strings.Count(log.String(), "  ran "); n != 1 {
+		t.Errorf("%d fresh simulations for %d identical submissions, want exactly 1:\n%s",
+			n, clients, log.String())
+	}
+	hookMu.Lock()
+	defer hookMu.Unlock()
+	if hookRuns != 1 {
+		t.Errorf("worker executed %d jobs for %d identical submissions, want 1", hookRuns, clients)
+	}
+
+	// A resubmission after completion is a pure cache hit.
+	jr, code := c.submit(gaussReq)
+	if code != http.StatusOK || !jr.Cached {
+		t.Errorf("resubmission: status %d cached=%v, want 200 cached", code, jr.Cached)
+	}
+}
+
+// TestServerShedsUnderOverload fills the one-worker, one-slot queue
+// and requires excess submissions to shed with 429 + Retry-After
+// while a previously completed spec keeps serving from cache.
+func TestServerShedsUnderOverload(t *testing.T) {
+	g := &gate{}
+	s, err := New(Config{
+		Params:     experiments.Quick(),
+		Workers:    1,
+		QueueCap:   1,
+		RetryAfter: 3 * time.Second,
+		Hooks:      Hooks{BeforeRun: func(string) { g.wait() }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		g.open()
+		s.Drain()
+	}()
+	c := newTestClient(t, s)
+
+	// Warm the cache with one completed run while the gate is open.
+	warm, code := c.submit(gaussReq)
+	if code != http.StatusOK && code != http.StatusAccepted {
+		t.Fatalf("warm submit: %d", code)
+	}
+	c.waitDone(warm.ID, 30*time.Second)
+
+	// Close the gate: the next job wedges in the worker, then one more
+	// fills the queue.
+	g.close()
+	variant := func(delay int) SubmitRequest {
+		r := gaussReq
+		r.LoadDelay = delay
+		return r
+	}
+	if _, code := c.submit(variant(3)); code != http.StatusAccepted {
+		t.Fatalf("first overload submit: %d, want 202", code)
+	}
+	waitForRunning := time.Now()
+	for s.queue.Len() != 0 {
+		if time.Since(waitForRunning) > 10*time.Second {
+			t.Fatal("worker never picked up the wedged job")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, code := c.submit(variant(5)); code != http.StatusAccepted {
+		t.Fatalf("queue-filling submit: %d, want 202", code)
+	}
+
+	// Now the server is saturated: new work is shed...
+	resp, body := c.postJSON("/api/v1/jobs", variant(6))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit: %d %s, want 429", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Errorf("Retry-After = %q, want \"3\"", ra)
+	}
+	// ...but cache hits keep being served.
+	jr, code := c.submit(gaussReq)
+	if code != http.StatusOK || !jr.Cached || jr.Result == nil {
+		t.Errorf("cache hit under overload: status %d cached=%v", code, jr.Cached)
+	}
+	if st := s.Stats(); st.Shed == 0 {
+		t.Error("stats recorded no shed submissions")
+	}
+	// The deferred gate-open + Drain reap the wedged and queued jobs.
+}
+
+func mustSpec(t *testing.T, r SubmitRequest) experiments.RunSpec {
+	t.Helper()
+	s, err := r.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestServerDrainAndResume drains a server with one wedged and one
+// queued job, then restarts on the same state directory and requires
+// both to complete with the same checksums a direct Runner produces.
+func TestServerDrainAndResume(t *testing.T) {
+	dir := t.TempDir()
+	g := &gate{}
+	s, err := New(Config{
+		Params:   experiments.Quick(),
+		StateDir: dir,
+		Workers:  1,
+		Hooks:    Hooks{BeforeRun: func(string) { g.wait() }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newTestClient(t, s)
+
+	reqA := gaussReq
+	reqB := SubmitRequest{Bench: "Relax", Model: "WO1", CacheSize: 1 << 10, LineSize: 8}
+	g.close()
+	ja, code := c.submit(reqA)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit A: %d", code)
+	}
+	jb, code := c.submit(reqB)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit B: %d", code)
+	}
+
+	// Drain while A is wedged in the worker and B is queued. The gate
+	// opens after Drain begins so the worker can observe cancellation.
+	drained := make(chan struct{})
+	go func() {
+		s.Drain()
+		close(drained)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	g.open()
+	select {
+	case <-drained:
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain did not complete")
+	}
+
+	// Draining admission: new submissions are refused...
+	if _, code := c.submit(SubmitRequest{Bench: "Psim", Model: "RC", CacheSize: 1 << 10, LineSize: 8}); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %d, want 503", code)
+	}
+
+	// Restart on the same state. Both jobs must be re-admitted and
+	// complete; checksums must match a direct Runner run.
+	s2, err := New(Config{Params: experiments.Quick(), StateDir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Drain()
+	if st := s2.Stats(); st.Resumed != 2 {
+		t.Fatalf("resumed %d jobs, want 2", st.Resumed)
+	}
+	c2 := newTestClient(t, s2)
+	finalA := c2.waitDone(ja.ID, 60*time.Second)
+	finalB := c2.waitDone(jb.ID, 60*time.Second)
+
+	direct := experiments.NewRunner(experiments.Quick())
+	resA, err := direct.Run(mustSpec(t, reqA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := direct.Run(mustSpec(t, reqB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalA.Checksum != resA.Checksum() {
+		t.Errorf("job A checksum %s != direct %s", finalA.Checksum, resA.Checksum())
+	}
+	if finalB.Checksum != resB.Checksum() {
+		t.Errorf("job B checksum %s != direct %s", finalB.Checksum, resB.Checksum())
+	}
+}
+
+// TestServerPreemptRequeues preempts a running job and requires it to
+// checkpoint, requeue and still finish with a correct result.
+func TestServerPreemptRequeues(t *testing.T) {
+	dir := t.TempDir()
+	g := &gate{}
+	s, err := New(Config{
+		Params:   experiments.Quick(),
+		StateDir: dir,
+		Workers:  1,
+		Hooks:    Hooks{BeforeRun: func(string) { g.wait() }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		g.open()
+		s.Drain()
+	}()
+	c := newTestClient(t, s)
+
+	g.close()
+	jr, code := c.submit(gaussReq)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	// Wait for the worker to pick it up (status running).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, body := c.get("/api/v1/jobs/" + jr.ID)
+		var cur JobResponse
+		json.Unmarshal(body, &cur)
+		resp.Body.Close()
+		if cur.Status == string(experiments.StatusRunning) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started running (now %s)", cur.Status)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, _ := c.postJSON("/api/v1/jobs/"+jr.ID+"/preempt", struct{}{})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("preempt: %d", resp.StatusCode)
+	}
+	g.open()
+	final := c.waitDone(jr.ID, 60*time.Second)
+	if final.Status != string(experiments.StatusDone) {
+		t.Fatalf("preempted job ended %s (%s)", final.Status, final.Error)
+	}
+	if st := s.Stats(); st.Preempts == 0 {
+		t.Error("stats recorded no preemption")
+	}
+	direct := experiments.NewRunner(experiments.Quick())
+	res, err := direct.Run(mustSpec(t, gaussReq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Checksum != res.Checksum() {
+		t.Errorf("preempted job checksum %s != direct %s", final.Checksum, res.Checksum())
+	}
+}
+
+// TestCacheRejectsCorruptEntries corrupts an on-disk entry and
+// requires the cache to miss rather than serve it.
+func TestCacheRejectsCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := experiments.NewRunner(experiments.Quick())
+	spec := mustSpec(t, gaussReq)
+	res, err := direct.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &CacheEntry{ID: "deadbeef", Key: "k", Spec: spec, Checksum: res.Checksum(), Result: res}
+	if err := cache.Put(e); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh cache (cold memory) must load and verify from disk.
+	cache2, _ := NewCache(dir)
+	if _, ok := cache2.Get("deadbeef"); !ok {
+		t.Fatal("verified entry did not load from disk")
+	}
+
+	// Corrupt the stored result: flip the cycle count.
+	path := filepath.Join(dir, "deadbeef.json")
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := bytes.Replace(buf, []byte(fmt.Sprintf(`"Cycles":%d`, res.Cycles)),
+		[]byte(fmt.Sprintf(`"Cycles":%d`, res.Cycles+1)), 1)
+	if bytes.Equal(mangled, buf) {
+		t.Fatalf("corruption did not apply; body: %.200s", buf)
+	}
+	if err := os.WriteFile(path, mangled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cache3, _ := NewCache(dir)
+	if _, ok := cache3.Get("deadbeef"); ok {
+		t.Fatal("corrupt entry served from disk")
+	}
+}
+
+// syncBuffer is a goroutine-safe log sink.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
