@@ -41,8 +41,13 @@ func TestParseModel(t *testing.T) {
 	if err != nil || m != memsim.RC {
 		t.Fatalf("ParseModel(rc) = %v, %v", m, err)
 	}
-	if len(memsim.Models) != 7 {
-		t.Errorf("Models has %d entries, want 7", len(memsim.Models))
+	if len(memsim.Models) != 10 {
+		t.Errorf("Models has %d entries, want 10", len(memsim.Models))
+	}
+	for _, name := range []string{"tso", "pso", "pc"} {
+		if _, err := memsim.ParseModel(name); err != nil {
+			t.Errorf("ParseModel(%q): %v", name, err)
+		}
 	}
 }
 

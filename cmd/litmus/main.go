@@ -11,7 +11,9 @@
 //	litmus -runs 1000 -seed 7        # deeper, different perturbations
 //	litmus -json                     # machine-readable reports
 //	litmus -list                     # describe the test library
-//	litmus -mutate sc-overlap        # seed the self-check defect
+//	litmus -models                   # describe the model zoo's hardware
+//	litmus -mutate sc-overlap        # seed the SC self-check defect
+//	litmus -mutate wb-no-drain       # seed the write-buffer defect
 //
 // Exit status is nonzero if any run produced an outcome outside its
 // model's allowed set. SIGINT/SIGTERM stops the sweep cleanly: the
@@ -28,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 
@@ -38,18 +41,28 @@ import (
 func main() {
 	var (
 		testF  = flag.String("test", "all", "litmus test name, or all")
-		modelF = flag.String("model", "all", "memory model (SC1,SC2,WO1,WO2,RC,bSC1,bWO1), or all")
-		runs   = flag.Int("runs", 150, "perturbed runs per (test, model)")
-		seed   = flag.Int64("seed", 1, "base seed; run i uses seed+i")
-		jsonF  = flag.Bool("json", false, "emit one JSON report per (test, model)")
-		list   = flag.Bool("list", false, "list the test library and exit")
-		mutate = flag.String("mutate", "", "seed a spec defect (sc-overlap) for the self-check")
+		modelF = flag.String("model", "all",
+			fmt.Sprintf("memory model (%s), or all", strings.Join(consistency.ModelNames(), ",")))
+		runs    = flag.Int("runs", 150, "perturbed runs per (test, model)")
+		seed    = flag.Int64("seed", 1, "base seed; run i uses seed+i")
+		jsonF   = flag.Bool("json", false, "emit one JSON report per (test, model)")
+		list    = flag.Bool("list", false, "list the test library and exit")
+		modelsF = flag.Bool("models", false, "list the model zoo with hardware summaries and exit")
+		mutate  = flag.String("mutate", "", "seed a spec defect (sc-overlap, wb-no-drain) for the self-check")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, t := range litmus.Library() {
+		tests := litmus.Library()
+		sort.Slice(tests, func(i, j int) bool { return tests[i].Name < tests[j].Name })
+		for _, t := range tests {
 			fmt.Printf("%-10s %s\n", t.Name, t.Doc)
+		}
+		return
+	}
+	if *modelsF {
+		for _, m := range consistency.Models {
+			fmt.Printf("%-5s %s\n", m, consistency.SpecFor(m).Summary())
 		}
 		return
 	}
@@ -67,8 +80,10 @@ func main() {
 	case "":
 	case "sc-overlap":
 		mut = consistency.MutSCOverlap
+	case "wb-no-drain":
+		mut = consistency.MutWBNoDrain
 	default:
-		fatal(fmt.Errorf("unknown mutation %q (try sc-overlap)", *mutate))
+		fatal(fmt.Errorf("unknown mutation %q (try sc-overlap or wb-no-drain)", *mutate))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -40,6 +40,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"memsim"
@@ -51,7 +52,8 @@ import (
 func main() {
 	var (
 		bench = flag.String("bench", "gauss", "benchmark: gauss, qsort, relax, psim")
-		model = flag.String("model", "SC1", "consistency model: SC1, SC2, WO1, WO2, RC, bSC1, bWO1")
+		model = flag.String("model", "SC1",
+			"consistency model: "+strings.Join(memsim.ModelNames(), ", "))
 		procs = flag.Int("procs", 16, "number of processors")
 		cache = flag.Int("cache", 16<<10, "cache size in bytes")
 		line  = flag.Int("line", 16, "cache line size in bytes")

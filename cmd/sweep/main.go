@@ -12,8 +12,9 @@
 //	sweep -all -state runs/ -resume  # continue an interrupted sweep
 //
 // Experiments: t2 (Table 2 + appendix), f2, f4, f5, f6, f7, f8, f9,
-// t3-6 (the delay-sensitivity tables), plus the extension ablations
-// rwo (read-with-ownership Qsort) and mshr (WO1 MSHR-count sweep).
+// t3-6 (the delay-sensitivity tables), the extension ablations
+// rwo (read-with-ownership Qsort) and mshr (WO1 MSHR-count sweep),
+// and zoo (TSO/PSO/PC gains and MWPI next to the paper's models).
 //
 // One Runner (and its memoization cache) is shared by every path —
 // -md and -all/-exp together run shared baselines once, and -j spreads
@@ -60,7 +61,7 @@ import (
 func main() {
 	var (
 		all      = flag.Bool("all", false, "run every experiment")
-		exp      = flag.String("exp", "", "comma-separated experiment ids (t2,f2,f4,f5,f6,f7,f8,f9,t3-6)")
+		exp      = flag.String("exp", "", "comma-separated experiment ids (t2,f2,f4,f5,f6,f7,f8,f9,t3-6,rwo,mshr,zoo)")
 		preset   = flag.String("preset", "scaled", "parameter preset: quick, scaled, paper")
 		outF     = flag.String("out", "", "also write the report to this file")
 		mdF      = flag.String("md", "", "write the full EXPERIMENTS.md-style report to this file")
@@ -186,7 +187,7 @@ func main() {
 
 	ids := []string{}
 	if *all {
-		ids = []string{"t2", "f2", "f4", "f5", "f6", "f7", "f8", "f9", "t3-6", "rwo", "mshr"}
+		ids = []string{"t2", "f2", "f4", "f5", "f6", "f7", "f8", "f9", "t3-6", "rwo", "mshr", "zoo"}
 	} else if *exp != "" {
 		ids = strings.Split(*exp, ",")
 	} else {
@@ -334,6 +335,9 @@ func runOne(r *experiments.Runner, id string) (string, error) {
 	case "mshr":
 		a, err := experiments.RunAblationMSHR(r)
 		return stringify(a, err)
+	case "zoo":
+		z, err := experiments.RunZoo(r)
+		return stringify(z, err)
 	}
 	return "", fmt.Errorf("unknown experiment %q", id)
 }

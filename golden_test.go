@@ -29,7 +29,7 @@ import (
 	"memsim/internal/experiments"
 )
 
-var update = flag.Bool("update", false, "rewrite testdata/golden/quick.json from the current simulator")
+var update = flag.Bool("update", false, "rewrite the golden corpora under testdata/golden/ from the current simulator")
 
 const goldenPath = "testdata/golden/quick.json"
 
@@ -57,14 +57,10 @@ func goldenKey(s experiments.RunSpec) string {
 	return fmt.Sprintf("%s/%s/line%d", s.Bench, s.Model, s.LineSize)
 }
 
-// computeGolden runs the whole corpus (concurrently; the Runner
+// computeChecksums runs a corpus grid (concurrently; the Runner
 // memoizes and is safe for parallel use) and returns key -> checksum.
-func computeGolden(t *testing.T) map[string]string {
+func computeChecksums(t *testing.T, r *experiments.Runner, specs []experiments.RunSpec) map[string]string {
 	t.Helper()
-	p := experiments.Quick()
-	r := experiments.NewRunner(p)
-	specs := goldenGrid(p)
-
 	var (
 		mu   sync.Mutex
 		got  = make(map[string]string, len(specs))
@@ -98,34 +94,34 @@ func computeGolden(t *testing.T) map[string]string {
 	return got
 }
 
-func TestGolden(t *testing.T) {
-	if testing.Short() {
-		t.Skip("golden corpus runs the full Quick grid; skipped in -short mode")
+// writeGolden rewrites a golden corpus file from freshly computed
+// checksums (the -update path).
+func writeGolden(t *testing.T, path string, got map[string]string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
 	}
-	got := computeGolden(t)
-
-	if *update {
-		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		b, err := json.MarshalIndent(got, "", "  ")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(goldenPath, append(b, '\n'), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("wrote %d golden checksums to %s", len(got), goldenPath)
-		return
+	b, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
 	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d golden checksums to %s", len(got), path)
+}
 
-	raw, err := os.ReadFile(goldenPath)
+// compareGolden diffs freshly computed checksums against a pinned
+// corpus file, reporting drift, stale keys, and missing keys.
+func compareGolden(t *testing.T, path string, got map[string]string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("reading golden corpus (regenerate with -update): %v", err)
 	}
 	var want map[string]string
 	if err := json.Unmarshal(raw, &want); err != nil {
-		t.Fatalf("parsing %s: %v", goldenPath, err)
+		t.Fatalf("parsing %s: %v", path, err)
 	}
 
 	keys := make([]string, 0, len(want))
@@ -147,4 +143,18 @@ func TestGolden(t *testing.T) {
 			t.Errorf("%s: produced by the grid but missing from corpus (run with -update)", k)
 		}
 	}
+}
+
+func TestGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden corpus runs the full Quick grid; skipped in -short mode")
+	}
+	p := experiments.Quick()
+	got := computeChecksums(t, experiments.NewRunner(p), goldenGrid(p))
+
+	if *update {
+		writeGolden(t, goldenPath, got)
+		return
+	}
+	compareGolden(t, goldenPath, got)
 }

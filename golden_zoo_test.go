@@ -1,0 +1,53 @@
+// Golden-result determinism harness for the model zoo.
+//
+// TestGoldenZoo extends the golden corpus to the zoo models (TSO,
+// PSO, PC) over all four benchmarks at the Quick preset, pinned in a
+// separate file so testdata/golden/quick.json — the paper's five
+// system types — stays byte-identical as the zoo grows.
+//
+// Regenerate after an intentional behavior change with:
+//
+//	go test -run TestGoldenZoo -update
+//
+// and justify the diff in the commit message.
+package memsim_test
+
+import (
+	"testing"
+
+	"memsim"
+	"memsim/internal/experiments"
+)
+
+const goldenZooPath = "testdata/golden/zoo.json"
+
+// goldenZooModels are the zoo additions beyond the paper's Table 1.
+var goldenZooModels = []memsim.Model{memsim.TSO, memsim.PSO, memsim.PC}
+
+func goldenZooGrid(p experiments.Params) []experiments.RunSpec {
+	var specs []experiments.RunSpec
+	for _, b := range experiments.Benches {
+		for _, m := range goldenZooModels {
+			for _, ls := range p.LineSizes {
+				specs = append(specs, experiments.RunSpec{
+					Bench: b, Model: m, CacheSize: p.LargeCache, LineSize: ls,
+				})
+			}
+		}
+	}
+	return specs
+}
+
+func TestGoldenZoo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden corpus runs the full Quick grid; skipped in -short mode")
+	}
+	p := experiments.Quick()
+	got := computeChecksums(t, experiments.NewRunner(p), goldenZooGrid(p))
+
+	if *update {
+		writeGolden(t, goldenZooPath, got)
+		return
+	}
+	compareGolden(t, goldenZooPath, got)
+}

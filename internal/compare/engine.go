@@ -1,0 +1,257 @@
+// Package compare is the automatic model comparator: it computes, for
+// any pair of consistency models, a minimal litmus-style witness
+// program — one whose outcome set differs between the two models — and
+// assembles the full strictness lattice over the model zoo.
+//
+// The core is an allowed-outcome engine that interprets a small
+// program under a consistency.Spec's declarative hardware dials. It
+// enumerates every linearization of the program's operations that
+// respects the spec's preserved program order (the Adve/Gharachorloo
+// relaxation axes, derived by Spec.Relaxations), executing each
+// against a single shared memory. Write-buffer specs additionally
+// model store-to-load forwarding: a load may execute while a program-
+// earlier same-location store is still unexecuted, reading the
+// buffered value (read-own-write-early), which is observationally
+// distinct from merely relaxing the W→R edge (the classic n6 shape:
+// the forwarded value can be the final memory value even though the
+// store performs last).
+//
+// The engine's contract is pinned by TestEngineMatchesLitmusAllowed:
+// on every declarative litmus-library test it reproduces exactly the
+// oracle-plus-whitelist allowed set of every model, so the comparator
+// and the conformance harness can never silently disagree.
+package compare
+
+import (
+	"fmt"
+	"sort"
+
+	"memsim/internal/consistency"
+	"memsim/internal/litmus"
+)
+
+// maxEngineOps bounds the packed DFS state (executed bits + memory +
+// observations must fit one uint64).
+const maxEngineOps = 12
+
+// annMode classifies how a spec's hardware sees synchronization
+// annotations: invisible (SC systems treat everything as plain),
+// two-sided (weak ordering maps acquire/release to full sync), or
+// one-sided (release consistency keeps them directional).
+type annMode int
+
+const (
+	annInvisible annMode = iota
+	annTwoSided
+	annOneSided
+)
+
+func annModeOf(s consistency.Spec) annMode {
+	switch {
+	case !s.SyncVisible:
+		return annInvisible
+	case s.ReleaseNonBlocking:
+		return annOneSided
+	default:
+		return annTwoSided
+	}
+}
+
+// effAnn mirrors cpu.effectiveClass: the annotation the hardware
+// actually honors.
+func effAnn(mode annMode, a litmus.Ann) litmus.Ann {
+	switch mode {
+	case annInvisible:
+		return litmus.AnnPlain
+	case annTwoSided:
+		if a == litmus.AnnAcquire || a == litmus.AnnRelease {
+			return litmus.AnnSync
+		}
+	}
+	return a
+}
+
+// ordered reports whether program-order edge a→b (same thread, a
+// earlier) is preserved by the spec: b may not execute while a is
+// still pending unless this returns false.
+func ordered(s consistency.Spec, mode annMode, r consistency.Relaxation, a, b litmus.Op) bool {
+	if s.SequentiallyConsistent() {
+		return true
+	}
+	ea, eb := effAnn(mode, a.Ann), effAnn(mode, b.Ann)
+	if ea == litmus.AnnSync || eb == litmus.AnnSync {
+		return true // fences and sync-classed ops order both directions
+	}
+	if a.Kind != litmus.OpFence && b.Kind != litmus.OpFence && a.Loc == b.Loc {
+		// Same location: always ordered, except that a write buffer
+		// lets a load run ahead of its own thread's pending store —
+		// the load forwards the buffered value (read-own-write-early).
+		if s.WriteBuffer && a.Kind == litmus.OpStore && b.Kind == litmus.OpLoad {
+			return false
+		}
+		return true
+	}
+	if a.Kind == litmus.OpLoad && ea == litmus.AnnAcquire {
+		return true // an acquire orders everything after it
+	}
+	if b.Kind == litmus.OpStore && eb == litmus.AnnRelease {
+		return true // a release orders everything before it
+	}
+	switch {
+	case a.Kind == litmus.OpStore && b.Kind == litmus.OpLoad:
+		return !r.WR
+	case a.Kind == litmus.OpStore && b.Kind == litmus.OpStore:
+		return !r.WW
+	case a.Kind == litmus.OpLoad && b.Kind == litmus.OpLoad:
+		return !r.RR
+	default:
+		return !r.RW
+	}
+}
+
+// Outcomes computes the engine's allowed outcome set for a
+// declarative test under a spec, as sorted outcome keys.
+func Outcomes(t *litmus.Test, spec consistency.Spec) ([]string, error) {
+	if t.Threads == nil {
+		return nil, fmt.Errorf("compare: %s is a custom test; the engine needs declarative threads", t.Name)
+	}
+	totalOps := 0
+	for _, th := range t.Threads {
+		totalOps += len(th)
+	}
+	if totalOps > maxEngineOps {
+		return nil, fmt.Errorf("compare: %s has %d ops, engine limit is %d", t.Name, totalOps, maxEngineOps)
+	}
+
+	mode := annModeOf(spec)
+	relax := spec.Relaxations()
+	refs, err := t.Refs()
+	if err != nil {
+		return nil, err
+	}
+
+	// Canonical observed-load slots, as the oracle assigns them.
+	loadIdx := make([][]int, len(t.Threads))
+	nLoads := 0
+	maxVal := uint64(0)
+	for ti, th := range t.Threads {
+		loadIdx[ti] = make([]int, len(th))
+		for oi, op := range th {
+			if op.Kind == litmus.OpLoad {
+				loadIdx[ti][oi] = nLoads
+				nLoads++
+			}
+			if op.Kind == litmus.OpStore && op.Val > maxVal {
+				maxVal = op.Val
+			}
+		}
+	}
+	vbits := 1
+	for (uint64(1) << vbits) <= maxVal {
+		vbits++
+	}
+	if totalOps+(t.NLocs+nLoads)*vbits > 64 {
+		return nil, fmt.Errorf("compare: %s state (%d ops, %d locs, %d loads, %d value bits) exceeds packed-state capacity",
+			t.Name, totalOps, t.NLocs, nLoads, vbits)
+	}
+
+	execd := make([]uint32, len(t.Threads))
+	mem := make([]uint64, t.NLocs)
+	obs := make([]uint64, nLoads)
+	visited := make(map[uint64]bool)
+	keys := make(map[string]bool)
+
+	pack := func() uint64 {
+		var k uint64
+		shift := 0
+		for ti := range t.Threads {
+			k |= uint64(execd[ti]) << shift
+			shift += len(t.Threads[ti])
+		}
+		for _, v := range mem {
+			k |= v << shift
+			shift += vbits
+		}
+		for _, v := range obs {
+			k |= v << shift
+			shift += vbits
+		}
+		return k
+	}
+
+	var rec func()
+	rec = func() {
+		k := pack()
+		if visited[k] {
+			return
+		}
+		visited[k] = true
+		anyReady := false
+		for ti, th := range t.Threads {
+			for oi, op := range th {
+				if execd[ti]&(1<<oi) != 0 {
+					continue
+				}
+				ready := true
+				for pj := 0; pj < oi; pj++ {
+					if execd[ti]&(1<<pj) == 0 && ordered(spec, mode, relax, th[pj], op) {
+						ready = false
+						break
+					}
+				}
+				if !ready {
+					continue
+				}
+				anyReady = true
+				execd[ti] |= 1 << oi
+				switch op.Kind {
+				case litmus.OpFence:
+					rec()
+				case litmus.OpStore:
+					old := mem[op.Loc]
+					mem[op.Loc] = op.Val
+					rec()
+					mem[op.Loc] = old
+				case litmus.OpLoad:
+					v := mem[op.Loc]
+					if spec.WriteBuffer {
+						// Forward from the newest program-earlier
+						// same-location store still in the buffer.
+						// Same-location stores stay ordered, so if the
+						// newest one has executed, all earlier ones have.
+						for pj := oi - 1; pj >= 0; pj-- {
+							if th[pj].Kind == litmus.OpStore && th[pj].Loc == op.Loc {
+								if execd[ti]&(1<<pj) == 0 {
+									v = th[pj].Val
+								}
+								break
+							}
+						}
+					}
+					idx := loadIdx[ti][oi]
+					old := obs[idx]
+					obs[idx] = v
+					rec()
+					obs[idx] = old
+				}
+				execd[ti] &^= 1 << oi
+			}
+		}
+		if anyReady {
+			return
+		}
+		o := litmus.Outcome{
+			Loads: append([]uint64(nil), obs...),
+			Mem:   append([]uint64(nil), mem...),
+		}
+		keys[t.Key(refs, o)] = true
+	}
+	rec()
+
+	out := make([]string, 0, len(keys))
+	for k := range keys {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -18,12 +18,15 @@
 // are predefined. Custom specs can be constructed for ablations.
 package consistency
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Model identifies one of the predefined system types.
 type Model int
 
-// The system types studied in the paper.
+// The system types studied in the paper, plus the model zoo.
 const (
 	SC1  Model = iota // sequentially consistent baseline, non-blocking loads
 	SC2               // SC1 + hardware-directed non-binding prefetch at stalls
@@ -32,14 +35,30 @@ const (
 	RC                // release consistent
 	BSC1              // SC1 with blocking loads (§5.1)
 	BWO1              // WO1 with blocking loads (§5.1)
+	TSO               // total store order: FIFO write buffer with forwarding
+	PSO               // partial store order: per-line write buffer drains
+	PC                // processor consistency: TSO buffer + non-blocking loads
 	numModels
 )
 
 // Models lists every predefined model in presentation order.
-var Models = []Model{SC1, SC2, WO1, WO2, RC, BSC1, BWO1}
+var Models = []Model{SC1, SC2, WO1, WO2, RC, BSC1, BWO1, TSO, PSO, PC}
 
 // RelaxedModels lists the models compared against SC1 in Figures 4-6.
 var RelaxedModels = []Model{SC2, WO1, WO2, RC}
+
+// ZooModels lists the models added beyond the paper's systems.
+var ZooModels = []Model{TSO, PSO, PC}
+
+// ModelNames is the canonical registry of model names, in presentation
+// order. CLIs share it for flag help and error messages.
+func ModelNames() []string {
+	names := make([]string, len(Models))
+	for i, m := range Models {
+		names[i] = m.String()
+	}
+	return names
+}
 
 func (m Model) String() string {
 	switch m {
@@ -57,6 +76,12 @@ func (m Model) String() string {
 		return "bSC1"
 	case BWO1:
 		return "bWO1"
+	case TSO:
+		return "TSO"
+	case PSO:
+		return "PSO"
+	case PC:
+		return "PC"
 	}
 	return fmt.Sprintf("model(%d)", int(m))
 }
@@ -69,7 +94,7 @@ func ParseModel(s string) (Model, error) {
 			return m, nil
 		}
 	}
-	return 0, fmt.Errorf("consistency: unknown model %q", s)
+	return 0, fmt.Errorf("consistency: unknown model %q (valid: %s)", s, strings.Join(ModelNames(), ", "))
 }
 
 func equalFold(a, b string) bool {
@@ -128,6 +153,111 @@ type Spec struct {
 	// LoadBypass lets load requests enter at the head of the processor-
 	// to-network interface buffer, ahead of queued messages (WO2).
 	LoadBypass bool
+
+	// WriteBuffer gives the processor a store buffer: ordinary stores
+	// are buffered and retire in the background while execution
+	// continues, and ordinary loads forward from the newest buffered
+	// store to their address (read-own-write-early). Buffered stores
+	// drain only while no demand reference is outstanding, so a store
+	// never performs ahead of a program-earlier load (TSO, PSO, PC).
+	WriteBuffer bool
+
+	// WBFIFO drains the write buffer strictly in order, one store at a
+	// time, preserving store-store order (TSO, PC). When false, any
+	// buffered store with no earlier buffered store to the same cache
+	// line may drain, so stores to different lines reorder (PSO).
+	WBFIFO bool
+
+	// WBLeak is a deliberate defect seeded by MutWBNoDrain: fences and
+	// sync-classed operations no longer wait for the write buffer to
+	// drain. Never set in a real spec.
+	WBLeak bool
+}
+
+// Relaxation describes which of the four program-order edges between
+// shared accesses to *different* locations the hardware may visibly
+// break (the Adve/Gharachorloo relaxation axes). Same-location pairs,
+// fences and sync-classed operations stay ordered regardless; a
+// write-buffer spec additionally lets a load read its own thread's
+// buffered store before that store performs globally.
+type Relaxation struct {
+	WR bool // a store may perform after a program-later load binds
+	WW bool // stores may perform out of program order
+	RR bool // loads may bind out of program order
+	RW bool // a load may bind after a program-later store performs
+}
+
+// Relaxations derives the spec's visible reordering capabilities from
+// its hardware dials. The litmus whitelists and the model comparator's
+// allowed-outcome engine are both gated on these axes.
+func (s Spec) Relaxations() Relaxation {
+	if s.SequentiallyConsistent() {
+		return Relaxation{}
+	}
+	if s.WriteBuffer {
+		return Relaxation{
+			WR: true,
+			WW: !s.WBFIFO,
+			RR: !s.BlockingLoads,
+		}
+	}
+	multi := s.MaxOutstanding != 1
+	return Relaxation{
+		WR: multi,
+		WW: multi,
+		RR: multi && !s.BlockingLoads,
+		RW: multi && !s.BlockingLoads,
+	}
+}
+
+// Summary is a one-line description of the spec's hardware, used by
+// cmd/litmus -models and cmd/compare listings.
+func (s Spec) Summary() string {
+	var parts []string
+	switch {
+	case s.WriteBuffer && s.WBFIFO:
+		parts = append(parts, "FIFO write buffer w/ forwarding")
+	case s.WriteBuffer:
+		parts = append(parts, "per-line write buffer w/ forwarding")
+	case s.MaxOutstanding == 1:
+		parts = append(parts, "1 outstanding ref")
+	default:
+		parts = append(parts, "MSHR-bounded outstanding refs")
+	}
+	if s.BlockingLoads {
+		parts = append(parts, "blocking loads")
+	} else {
+		parts = append(parts, "non-blocking loads")
+	}
+	if s.PrefetchOnStall {
+		parts = append(parts, "prefetch on stall")
+	}
+	if !s.SyncVisible {
+		parts = append(parts, "sync invisible (SC)")
+	} else if s.ReleaseNonBlocking {
+		parts = append(parts, "background releases, eager acquires")
+	} else {
+		parts = append(parts, "sync ops drain")
+	}
+	if s.LoadBypass {
+		parts = append(parts, "load bypass in netbuf")
+	}
+	r := s.Relaxations()
+	var rx []string
+	for _, ax := range []struct {
+		on   bool
+		name string
+	}{{r.WR, "W→R"}, {r.WW, "W→W"}, {r.RR, "R→R"}, {r.RW, "R→W"}} {
+		if ax.on {
+			rx = append(rx, ax.name)
+		}
+	}
+	if len(rx) == 0 {
+		parts = append(parts, "relaxes nothing")
+	} else {
+		parts = append(parts, "relaxes "+strings.Join(rx, ","))
+	}
+	return strings.Join(parts, "; ")
 }
 
 // specs is the paper's Table 1, plus the §5.1 blocking-load variants.
@@ -173,6 +303,28 @@ var specs = [numModels]Spec{
 		SyncVisible:   true,
 		BlockingLoads: true,
 	},
+	TSO: {
+		Model:         TSO,
+		Name:          "TSO",
+		SyncVisible:   true,
+		BlockingLoads: true,
+		WriteBuffer:   true,
+		WBFIFO:        true,
+	},
+	PSO: {
+		Model:         PSO,
+		Name:          "PSO",
+		SyncVisible:   true,
+		BlockingLoads: true,
+		WriteBuffer:   true,
+	},
+	PC: {
+		Model:       PC,
+		Name:        "PC",
+		SyncVisible: true,
+		WriteBuffer: true,
+		WBFIFO:      true,
+	},
 }
 
 // SpecFor returns the hardware spec of a predefined model.
@@ -204,6 +356,13 @@ const (
 	// load has completed, which is exactly the store-buffering
 	// violation SC hardware must prevent. Non-SC specs are unchanged.
 	MutSCOverlap
+
+	// MutWBNoDrain breaks the write-buffer systems (TSO, PSO, PC) by
+	// letting fences and sync-classed operations complete without
+	// draining the buffer: a fence no longer orders a buffered store
+	// before a later load, so sb+fence becomes violable. Specs without
+	// a write buffer are unchanged.
+	MutWBNoDrain
 )
 
 func (mu Mutation) String() string {
@@ -212,6 +371,8 @@ func (mu Mutation) String() string {
 		return "none"
 	case MutSCOverlap:
 		return "sc-overlap"
+	case MutWBNoDrain:
+		return "wb-no-drain"
 	}
 	return fmt.Sprintf("mutation(%d)", int(mu))
 }
@@ -222,6 +383,10 @@ func (mu Mutation) Apply(s Spec) Spec {
 	case MutSCOverlap:
 		if s.MaxOutstanding == 1 {
 			s.MaxOutstanding = 2
+		}
+	case MutWBNoDrain:
+		if s.WriteBuffer {
+			s.WBLeak = true
 		}
 	}
 	return s

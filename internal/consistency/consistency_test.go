@@ -1,6 +1,9 @@
 package consistency
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestSpecTable1(t *testing.T) {
 	// The distinguishing features of each system, per the paper's
@@ -33,6 +36,66 @@ func TestSpecTable1(t *testing.T) {
 	if !bwo1.BlockingLoads || !bwo1.SyncVisible {
 		t.Errorf("bWO1 spec wrong: %+v", bwo1)
 	}
+	tso := SpecFor(TSO)
+	if !tso.WriteBuffer || !tso.WBFIFO || !tso.BlockingLoads || !tso.SyncVisible || tso.MaxOutstanding != 0 {
+		t.Errorf("TSO spec wrong: %+v", tso)
+	}
+	pso := SpecFor(PSO)
+	if !pso.WriteBuffer || pso.WBFIFO || !pso.BlockingLoads || !pso.SyncVisible {
+		t.Errorf("PSO spec wrong: %+v", pso)
+	}
+	pc := SpecFor(PC)
+	if !pc.WriteBuffer || !pc.WBFIFO || pc.BlockingLoads || !pc.SyncVisible {
+		t.Errorf("PC spec wrong: %+v", pc)
+	}
+}
+
+func TestRelaxations(t *testing.T) {
+	want := map[Model]Relaxation{
+		SC1:  {},
+		SC2:  {},
+		BSC1: {},
+		TSO:  {WR: true},
+		PSO:  {WR: true, WW: true},
+		PC:   {WR: true, RR: true},
+		BWO1: {WR: true, WW: true},
+		WO1:  {WR: true, WW: true, RR: true, RW: true},
+		WO2:  {WR: true, WW: true, RR: true, RW: true},
+		RC:   {WR: true, WW: true, RR: true, RW: true},
+	}
+	for _, m := range Models {
+		if got := SpecFor(m).Relaxations(); got != want[m] {
+			t.Errorf("%s.Relaxations() = %+v, want %+v", m, got, want[m])
+		}
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	names := ModelNames()
+	if len(names) != len(Models) {
+		t.Fatalf("ModelNames has %d entries, want %d", len(names), len(Models))
+	}
+	for i, m := range Models {
+		if names[i] != m.String() {
+			t.Errorf("ModelNames[%d] = %q, want %q", i, names[i], m)
+		}
+	}
+}
+
+func TestMutWBNoDrain(t *testing.T) {
+	for _, m := range ZooModels {
+		mut := MutWBNoDrain.Apply(SpecFor(m))
+		if !mut.WBLeak {
+			t.Errorf("MutWBNoDrain on %s did not set WBLeak", m)
+		}
+		if mut.SequentiallyConsistent() != SpecFor(m).SequentiallyConsistent() {
+			t.Errorf("MutWBNoDrain must not change %s's declared consistency class", m)
+		}
+	}
+	wo1 := SpecFor(WO1)
+	if got := MutWBNoDrain.Apply(wo1); got != wo1 {
+		t.Errorf("MutWBNoDrain changed a bufferless spec: %+v -> %+v", wo1, got)
+	}
 }
 
 func TestSequentiallyConsistent(t *testing.T) {
@@ -59,13 +122,19 @@ func TestStringAndParseRoundTrip(t *testing.T) {
 }
 
 func TestParseModelCaseInsensitive(t *testing.T) {
-	for _, s := range []string{"sc1", "Sc2", "wo1", "WO2", "rc", "BSC1", "bwo1"} {
+	for _, s := range []string{"sc1", "Sc2", "wo1", "WO2", "rc", "BSC1", "bwo1", "tso", "pso", "pc"} {
 		if _, err := ParseModel(s); err != nil {
 			t.Errorf("ParseModel(%q): %v", s, err)
 		}
 	}
-	if _, err := ParseModel("tso"); err == nil {
-		t.Error("ParseModel accepted unknown model")
+	_, err := ParseModel("sc3")
+	if err == nil {
+		t.Fatal("ParseModel accepted unknown model")
+	}
+	for _, name := range ModelNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("ParseModel error %q does not list valid model %s", err, name)
+		}
 	}
 }
 

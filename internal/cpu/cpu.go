@@ -154,6 +154,12 @@ type CPU struct {
 	relBuf         pendingRelease // backing storage: at most one release pends
 	releaseBarrier uint64         // misses with seq <= barrier gate the release
 
+	// Write buffer (TSO/PSO/PC): a ring of buffered ordinary stores.
+	wb     [wbCap]wbEntry
+	wbHead int
+	wbLen  int
+	wbSeq  uint64 // drain sequence numbers (own space, not missSeq)
+
 	// opFree heads the pendingOp free list; runFn is the prebuilt run
 	// callback handed to the engine (a method value built once, so
 	// scheduling allocates nothing).
@@ -269,6 +275,7 @@ func (c *CPU) schedule(at sim.Cycle) {
 // completions.
 func (c *CPU) reconsider() {
 	c.releaseTick()
+	c.wbTick()
 	if !c.parked {
 		return
 	}
@@ -434,7 +441,7 @@ func (c *CPU) run() {
 			t++
 
 		case in.Op == isa.HALT:
-			if c.outstanding > 0 || c.release != nil {
+			if c.outstanding > 0 || c.release != nil || c.wbHaltWait() {
 				if t > c.eng.Now() {
 					c.schedule(t)
 					return
@@ -473,7 +480,7 @@ func (c *CPU) run() {
 				t++
 				break
 			}
-			if c.outstanding > 0 || c.release != nil {
+			if c.outstanding > 0 || c.release != nil || c.wbDrainWait() {
 				c.park(parkDrain, t)
 				return
 			}

@@ -26,6 +26,7 @@ type pendingOp struct {
 	refKind metrics.RefClass
 	sync    bool // sync-class: stores also set done and wake the CPU
 	rel     bool // RC background release
+	wbd     bool // write-buffer drain (TSO/PSO/PC)
 	done    bool // value bound; consulted when the CPU awaits this op
 	retired bool // Retire ran while the CPU still awaited the op
 	next    *pendingOp
@@ -54,6 +55,10 @@ func (c *CPU) freeOp(p *pendingOp) {
 // class.
 func (p *pendingOp) Bind() {
 	c := p.c
+	if p.wbd {
+		c.wbBindDrain(p)
+		return
+	}
 	if p.rel {
 		c.mem.WriteWord(p.addr, p.value)
 		return
@@ -87,6 +92,13 @@ func (p *pendingOp) Bind() {
 // case the CPU frees it when it resumes.
 func (p *pendingOp) Retire() {
 	c := p.c
+	if p.wbd {
+		// Drains never count in c.outstanding; cache.OnRetireAny fires
+		// after this and runs reconsider → wbTick for follow-on issues.
+		c.wbRetireDrain(p.seq)
+		c.freeOp(p)
+		return
+	}
 	if p.rel {
 		c.completeRelease()
 		c.freeOp(p)
@@ -263,7 +275,7 @@ func (c *CPU) sharedAccess(in isa.Inst, addr uint64, t sim.Cycle) (accStatus, si
 		return c.plainAccess(in, addr, t)
 	case isa.ClassSync:
 		// Weak ordering: drain everything, then issue and wait.
-		if c.outstanding > 0 || c.release != nil {
+		if c.outstanding > 0 || c.release != nil || c.wbDrainWait() {
 			c.park(parkDrain, t)
 			return accRetry, 0
 		}
@@ -295,6 +307,37 @@ func (c *CPU) cacheKind(op isa.Op) (cache.Kind, bool) {
 
 // plainAccess issues an ordinary shared access.
 func (c *CPU) plainAccess(in isa.Inst, addr uint64, t sim.Cycle) (accStatus, sim.Cycle) {
+	if c.wbEnabled() {
+		switch in.Op {
+		case isa.ST:
+			// Stores enter the write buffer and the processor moves on;
+			// the buffer drains in the background (wbuf.go). A full
+			// buffer stalls like an outstanding-limit stall.
+			if c.wbFull() {
+				c.park(parkOutstanding, t)
+				return accRetry, 0
+			}
+			c.wbPush(addr, c.regs[in.Rs2], t)
+			c.wbTick()
+			return accDone, 0
+		case isa.LD, isa.LDX:
+			// Store-to-load forwarding: the newest buffered store to
+			// this address supplies the value without touching the
+			// cache (read-own-write-early).
+			if v, ok := c.wbForward(addr); ok {
+				c.setReg(in.Rd, v, t+c.loadDelay)
+				c.mc.Ref(metrics.RefReadHit, t, t+c.loadDelay)
+				return accDone, 0
+			}
+		case isa.TAS:
+			// An atomic read-modify-write acts on memory directly, so
+			// it must not bypass buffered stores: drain first.
+			if !c.wbEmpty() {
+				c.park(parkDrain, t)
+				return accRetry, 0
+			}
+		}
+	}
 	// Outstanding-reference limit. For the SC systems (limit 1) this
 	// stalls *any* subsequent access, hit or miss, while a reference
 	// is outstanding; SC2 additionally fires one non-binding prefetch

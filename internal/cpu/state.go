@@ -28,6 +28,7 @@ const (
 	opFlagRel
 	opFlagDone
 	opFlagRetired
+	opFlagWBD
 )
 
 // SaveBinder packs a pending operation into an opaque blob so the
@@ -45,6 +46,9 @@ func (p *pendingOp) SaveBinder() cache.BinderBlob {
 	}
 	if p.retired {
 		flags |= opFlagRetired
+	}
+	if p.wbd {
+		flags |= opFlagWBD
 	}
 	return cache.BinderBlob{W: [6]uint64{
 		p.addr, p.value, p.seq, p.issue,
@@ -66,6 +70,7 @@ func (c *CPU) unpackOp(b cache.BinderBlob) *pendingOp {
 	p.rel = flags&opFlagRel != 0
 	p.done = flags&opFlagDone != 0
 	p.retired = flags&opFlagRetired != 0
+	p.wbd = flags&opFlagWBD != 0
 	return p
 }
 
@@ -76,7 +81,9 @@ func (c *CPU) unpackOp(b cache.BinderBlob) *pendingOp {
 // distinct sequence numbers, so the match is unique).
 func (c *CPU) RestoreBinder(b cache.BinderBlob) (cache.Binder, error) {
 	p := c.unpackOp(b)
-	if c.wantAwait && !p.rel && p.seq == c.wantAwaitSeq {
+	// Drains live in their own sequence space, so a wbd op must never
+	// satisfy the awaited-miss match.
+	if c.wantAwait && !p.rel && !p.wbd && p.seq == c.wantAwaitSeq {
 		if c.awaiting != nil {
 			return nil, fmt.Errorf("cpu %d: two restored ops claim awaited seq %d", c.id, p.seq)
 		}
@@ -118,6 +125,18 @@ type PrivPage struct {
 	Words []uint64
 }
 
+// WBEntryState is one buffered store in a snapshot (oldest first). An
+// issued entry's drain operation is serialized inside its MSHR's
+// binder blob and re-linked by drain sequence number at retirement.
+type WBEntryState struct {
+	Addr    uint64
+	Value   uint64
+	Seq     uint64
+	Pushed  sim.Cycle
+	Issued  bool
+	Retired bool
+}
+
 // CPUState is the complete serializable state of a processor. Private
 // memory pages are sorted by page number so snapshot bytes are
 // deterministic.
@@ -145,6 +164,11 @@ type CPUState struct {
 	HasRelease     bool
 	Release        ReleaseState
 	ReleaseBarrier uint64
+
+	// Write buffer (TSO/PSO/PC). Empty for bufferless specs, so their
+	// snapshot encoding is unchanged (gob omits zero-valued fields).
+	WBSeq uint64
+	WB    []WBEntryState
 
 	Stats Stats
 	Priv  []PrivPage
@@ -191,6 +215,14 @@ func (c *CPU) Save() (CPUState, error) {
 			IssuedAt: c.release.issuedAt,
 		}
 	}
+	st.WBSeq = c.wbSeq
+	for i := 0; i < c.wbLen; i++ {
+		e := c.wbAt(i)
+		st.WB = append(st.WB, WBEntryState{
+			Addr: e.addr, Value: e.value, Seq: e.seq, Pushed: e.pushed,
+			Issued: e.issued, Retired: e.retired,
+		})
+	}
 	return st, nil
 }
 
@@ -236,6 +268,18 @@ func (c *CPU) Load(st CPUState) error {
 			issuedAt: st.Release.IssuedAt,
 		}
 		c.release = &c.relBuf
+	}
+	if len(st.WB) > wbCap {
+		return fmt.Errorf("cpu %d: snapshot write buffer has %d entries (cap %d)", c.id, len(st.WB), wbCap)
+	}
+	c.wbSeq = st.WBSeq
+	c.wbHead = 0
+	c.wbLen = len(st.WB)
+	for i, e := range st.WB {
+		c.wb[i] = wbEntry{
+			addr: e.Addr, value: e.Value, seq: e.Seq, pushed: e.Pushed,
+			issued: e.Issued, retired: e.Retired,
+		}
 	}
 	return nil
 }

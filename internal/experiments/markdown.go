@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"memsim/internal/compare"
+	"memsim/internal/consistency"
 )
 
 // WriteMarkdown runs every experiment (paper artifacts plus the
@@ -138,5 +141,48 @@ claims checked here are the paper's qualitative and ordering results.
 		mshr,
 		"Most of WO1's benefit arrives by 2–3 MSHRs; five (the paper's choice) sits past the knee.")
 
+	z, err := RunZoo(r)
+	if err != nil {
+		return err
+	}
+	section("Extension: model zoo (TSO, PSO, PC)",
+		"Not in the paper. The commercial store-buffer models — TSO (FIFO write buffer, blocking loads), PSO (per-line buffer retirement), PC (TSO's buffer with non-blocking loads) — on the paper's grid, compared against SC1 like Figures 4–5 and Table 9.",
+		z,
+		"The write buffer alone recovers a large share of weak ordering's gain on the miss-dominated benchmarks; PC's non-blocking loads recover the read latency TSO forfeits (most striking on Relax, whose relaxed-model benefit Figure 7 showed to be nearly all read latency: TSO gains almost nothing, PC matches WO1); and on sync-heavy Psim the buffer's drain at every sync point can cost slightly more than it buys — the paper's §5 caveat about buffering under frequent synchronization.")
+
+	if err := writeWitnessSection(w); err != nil {
+		return err
+	}
+
+	return nil
+}
+
+// writeWitnessSection demonstrates the model comparator (DESIGN.md
+// §13) on the classic TSO-vs-SC separation: the search rediscovers
+// the store-buffering shape as the minimal witness.
+func writeWitnessSection(w io.Writer) error {
+	res, err := compare.Compare(
+		[]consistency.Model{consistency.SC1, consistency.TSO}, compare.DefaultBudget())
+	if err != nil {
+		return err
+	}
+	pair := res.Pair("TSO", "SC1")
+	if pair == nil || !pair.Separated {
+		return fmt.Errorf("markdown: comparator failed to separate TSO from SC1")
+	}
+	wit := pair.Witness
+	fmt.Fprintf(w, "## Extension: synthesized witness — TSO \\ SC\n\n"+
+		"**Claim:** the FIFO write buffer is architecturally visible: each CPU\n"+
+		"can read the old value of the other's flag while its own store is\n"+
+		"still buffered, an outcome sequential consistency forbids.\n\n"+
+		"The comparator (`cmd/compare`, DESIGN.md §13) searches every\n"+
+		"canonical program of at most %d operations and returns the minimal\n"+
+		"distinguishing witness — it rediscovers the classic store-buffering\n"+
+		"(`sb`) shape:\n\n```\n%s\noutcome: %s   (allowed on TSO, forbidden on SC1)\n```\n\n"+
+		"**Assessment:** `compare -models SC1,TSO -verify` replays this witness\n"+
+		"1000× per side on the simulated hardware: the outcome is witnessed\n"+
+		"under TSO, appears zero times under SC1, and every observed outcome\n"+
+		"stays inside its model's engine-allowed set.\n\n",
+		res.Budget.MaxOps, compare.FormatProgram(wit.Threads), wit.Outcome)
 	return nil
 }

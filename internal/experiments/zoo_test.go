@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"memsim/internal/consistency"
+)
+
+// TestZooShape asserts the zoo comparison produces a complete grid —
+// gain curves for TSO, PSO and PC on all four benchmarks — plus the
+// qualitative claims that survive the quick substrate: on the
+// miss-dominated Gauss workload every buffering model clearly beats
+// SC1, PC's non-blocking loads never wait longer than TSO's blocking
+// ones, and nowhere does a zoo model lose badly to SC1. (Small losses
+// are real: on sync-heavy Psim the write buffer's drain at every sync
+// point can cost more than the overlap it buys, which is exactly the
+// paper's §5 caveat about buffering under frequent synchronization.)
+func TestZooShape(t *testing.T) {
+	r := quickRunner(t)
+	z, err := RunZoo(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	zoo := []consistency.Model{consistency.TSO, consistency.PSO, consistency.PC}
+	for _, bench := range Benches {
+		for _, m := range zoo {
+			g, ok := z.Gain.GainPct[bench][m]
+			if !ok || len(g) != len(r.Params.LineSizes) {
+				t.Fatalf("%s/%s: gain curve missing or incomplete: %v", bench, m, g)
+			}
+			for line, pct := range g {
+				if pct < -5 {
+					t.Errorf("%s/%s at %dB: gain %.1f%%, loses badly to SC1", bench, m, line, pct)
+				}
+			}
+			if _, ok := z.MWPI[bench][m]; !ok {
+				t.Fatalf("%s/%s: MWPI missing", bench, m)
+			}
+		}
+		// Non-blocking loads (PC) hide at least as much latency as
+		// TSO's blocking ones, on every workload.
+		if z.MWPI[bench][consistency.PC] > z.MWPI[bench][consistency.TSO]*1.01 {
+			t.Errorf("%s: PC MWPI %.3f exceeds TSO's %.3f",
+				bench, z.MWPI[bench][consistency.PC], z.MWPI[bench][consistency.TSO])
+		}
+	}
+
+	// Gauss misses constantly, so buffering pays off unambiguously.
+	smallLine := r.Params.LineSizes[0]
+	for _, m := range zoo {
+		if pct := z.Gain.GainPct[BGauss][m][smallLine]; pct < 5 {
+			t.Errorf("Gauss/%s at %dB: gain %.1f%%, want >= 5%%", m, smallLine, pct)
+		}
+		if z.MWPI[BGauss][m] >= z.MWPI[BGauss][consistency.SC1] {
+			t.Errorf("Gauss/%s: MWPI %.3f not below SC1's %.3f",
+				m, z.MWPI[BGauss][m], z.MWPI[BGauss][consistency.SC1])
+		}
+	}
+
+	s := z.String()
+	for _, want := range []string{"Zoo MWPI", "TSO", "PSO", "PC"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Zoo.String() missing %q", want)
+		}
+	}
+}

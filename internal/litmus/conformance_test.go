@@ -2,6 +2,7 @@ package litmus
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"memsim/internal/consistency"
@@ -57,6 +58,16 @@ func TestRelaxedOutcomesWitnessed(t *testing.T) {
 		{"sb", consistency.WO1, "P0:r4=0 P1:r4=0 | x=1 y=1"},
 		{"sb", consistency.RC, "P0:r4=0 P1:r4=0 | x=1 y=1"},
 		{"iriw", consistency.WO1, "P2:r4=1 P2:r5=0 P3:r4=1 P3:r5=0 | x=1 y=1"},
+		// The zoo: each model must exhibit its defining reordering.
+		{"sb", consistency.TSO, "P0:r4=0 P1:r4=0 | x=1 y=1"},
+		{"sb", consistency.PSO, "P0:r4=0 P1:r4=0 | x=1 y=1"},
+		{"sb", consistency.PC, "P0:r4=0 P1:r4=0 | x=1 y=1"},
+		// PSO's defining store-store reordering: the reader observes
+		// the flag yet still reads its stale cached data. The crowd
+		// threads' registers vary freely, so this matches on the
+		// distinguishing substring of the outcome key.
+		{"mp+crowd", consistency.PSO, "P1:r4=0 P1:r5=1 P1:r6=0"},
+		{"iriw", consistency.PC, "P2:r4=1 P2:r5=0 P3:r4=1 P3:r5=0 | x=1 y=1"},
 	}
 	for _, c := range cases {
 		t.Run(fmt.Sprintf("%s-%s", c.test, c.model), func(t *testing.T) {
@@ -71,11 +82,17 @@ func TestRelaxedOutcomesWitnessed(t *testing.T) {
 			if !rep.OK() {
 				t.Fatalf("%s/%s: unexpected violations: %+v", c.test, c.model, rep.Violations)
 			}
-			if rep.Witnessed[c.outcome] == 0 {
+			hits := 0
+			for key, n := range rep.Witnessed {
+				if strings.Contains(key, c.outcome) {
+					hits += n
+				}
+			}
+			if hits == 0 {
 				t.Errorf("%s/%s: relaxed outcome %q never witnessed in %d runs (harness lost its reordering sensitivity); witnessed: %v",
 					c.test, c.model, c.outcome, rep.Runs, rep.WitnessedKeys())
 			} else {
-				t.Logf("%s/%s: %q witnessed %d/%d", c.test, c.model, c.outcome, rep.Witnessed[c.outcome], rep.Runs)
+				t.Logf("%s/%s: %q witnessed %d/%d", c.test, c.model, c.outcome, hits, rep.Runs)
 			}
 		})
 	}

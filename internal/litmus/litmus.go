@@ -208,10 +208,42 @@ func (t *Test) Refs() ([]LoadRef, error) {
 	return refs, err
 }
 
-// needsNonBlockingLoads gates relaxed outcomes produced by load-load
-// reordering: blocking-load hardware (bWO1) issues loads one at a
-// time, so they bind in program order.
-func needsNonBlockingLoads(s consistency.Spec) bool { return !s.BlockingLoads }
+// The whitelist gates are expressed on the spec's relaxation axes
+// (consistency.Relaxation), so a new model's allowed sets follow from
+// its hardware dials with no per-test edits. E.g. load-load reordering
+// (needsRR) requires non-blocking loads, so bWO1/TSO/PSO never get
+// iriw's relaxed outcome while WO1/WO2/RC/PC do.
+func needsWR(s consistency.Spec) bool { return s.Relaxations().WR }
+func needsRW(s consistency.Spec) bool { return s.Relaxations().RW }
+func needsRR(s consistency.Spec) bool { return s.Relaxations().RR }
+func needsWWorRR(s consistency.Spec) bool {
+	r := s.Relaxations()
+	return r.WW || r.RR
+}
+
+// mpCrowdRelaxed enumerates mp+crowd's whitelisted outcomes: the main
+// reader (thread 1) reads data=0, then flag=1, then data=0 again —
+// forbidden under SC, since seeing the flag implies the program-
+// earlier data store performed. The crowd threads' single loads are
+// unconstrained, so every combination of their values is listed.
+// Thread 1 first reading data=1 with the final read 0 would be a
+// same-location coherence violation and is deliberately NOT listed.
+func mpCrowdRelaxed() []Relaxed {
+	const crowd = 4
+	out := make([]Relaxed, 0, 1<<crowd)
+	for bits := 0; bits < 1<<crowd; bits++ {
+		loads := []uint64{0, 1, 0}
+		for i := 0; i < crowd; i++ {
+			loads = append(loads, uint64(bits>>i)&1)
+		}
+		out = append(out, Relaxed{
+			Outcome: Outcome{Loads: loads, Mem: []uint64{1, 1}},
+			Needs:   needsWWorRR,
+			Why:     "the flag store performs before the contended data store, and the reader's cached data copy outlives its flag observation (store-store reordering), or the final data load binds before the flag load",
+		})
+	}
+	return out
+}
 
 // Library returns the litmus-test library, in presentation order.
 func Library() []*Test {
@@ -228,6 +260,7 @@ func Library() []*Test {
 			},
 			Relaxed: []Relaxed{{
 				Outcome: Outcome{Loads: []uint64{0, 0}, Mem: []uint64{1, 1}},
+				Needs:   needsWR,
 				Why:     "each load binds before the other thread's store performs (store-load reordering)",
 			}},
 		},
@@ -252,8 +285,24 @@ func Library() []*Test {
 			},
 			Relaxed: []Relaxed{{
 				Outcome: Outcome{Loads: []uint64{1, 0}, Mem: []uint64{1, 1}},
+				Needs:   needsWWorRR,
 				Why:     "the flag store performs before the data store, or the data load binds before the flag load",
 			}},
+		},
+		{
+			Name:     "mp+crowd",
+			Doc:      "message passing with a crowd of readers contending on data's home module: the crowd's directory transactions delay the data store's ownership grant (and its invalidates), so a store-store-reordering machine lets the main reader see the flag yet still hit its stale cached data",
+			NLocs:    2,
+			LocNames: []string{"data", "flag"},
+			Threads: []Thread{
+				{st(0, 1), st(1, 1)},
+				{ld(0), ld(1), ld(0)},
+				{ld(0)},
+				{ld(0)},
+				{ld(0)},
+				{ld(0)},
+			},
+			Relaxed: mpCrowdRelaxed(),
 		},
 		{
 			Name:     "mp+ra",
@@ -276,7 +325,7 @@ func Library() []*Test {
 			},
 			Relaxed: []Relaxed{{
 				Outcome: Outcome{Loads: []uint64{1, 1}, Mem: []uint64{1, 1}},
-				Needs:   needsNonBlockingLoads,
+				Needs:   needsRW,
 				Why:     "a pending non-blocking load binds after the program-later store performed",
 			}},
 		},
@@ -303,7 +352,7 @@ func Library() []*Test {
 			},
 			Relaxed: []Relaxed{{
 				Outcome: Outcome{Loads: []uint64{1, 0, 1, 0}, Mem: []uint64{1, 1}},
-				Needs:   needsNonBlockingLoads,
+				Needs:   needsRR,
 				Why:     "each reader's second load bound before its first (both loads pending at once)",
 			}},
 		},

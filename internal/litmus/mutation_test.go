@@ -65,6 +65,63 @@ func TestMutationNoFalsePositive(t *testing.T) {
 	}
 }
 
+// TestMutationWBSelfCheck is the write-buffer analog: MutWBNoDrain
+// lets fences and sync ops skip the buffer drain, so sb+fence — whose
+// SC outcome set is supposed to be exact on every model — exhibits the
+// store-buffering violation on each zoo model. The harness must catch
+// it and name the forbidden outcome.
+func TestMutationWBSelfCheck(t *testing.T) {
+	sbf, err := TestByName("sb+fence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const forbidden = "P0:r4=0 P1:r4=0 | x=1 y=1"
+	for _, m := range consistency.ZooModels {
+		rep, err := Run(sbf, m, Config{Runs: 150, Seed: 1, Mutate: consistency.MutWBNoDrain})
+		if err != nil {
+			t.Fatalf("sb+fence/%s mutated: %v", m, err)
+		}
+		if rep.OK() {
+			t.Errorf("sb+fence/%s: seeded %s defect escaped detection over %d runs (witnessed: %v)",
+				m, consistency.MutWBNoDrain, rep.Runs, rep.WitnessedKeys())
+			continue
+		}
+		named := false
+		for _, v := range rep.Violations {
+			if v.Outcome == forbidden {
+				named = true
+				break
+			}
+		}
+		if !named {
+			t.Errorf("sb+fence/%s: defect detected but the offending outcome %q was never named; violations: %+v",
+				m, forbidden, rep.Violations)
+		} else {
+			t.Logf("sb+fence/%s: seeded defect caught %d/%d runs; offending outcome %q (first at seed %d, %s)",
+				m, len(rep.Violations), rep.Runs, forbidden,
+				rep.Violations[0].Seed, rep.Violations[0].Config)
+		}
+	}
+}
+
+// TestMutationWBNoFalsePositive: the zoo models run sb+fence clean
+// without the seeded defect.
+func TestMutationWBNoFalsePositive(t *testing.T) {
+	sbf, err := TestByName("sb+fence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range consistency.ZooModels {
+		rep, err := Run(sbf, m, Config{Runs: 150, Seed: 1})
+		if err != nil {
+			t.Fatalf("sb+fence/%s: %v", m, err)
+		}
+		if !rep.OK() {
+			t.Errorf("sb+fence/%s unmutated: unexpected violations: %+v", m, rep.Violations)
+		}
+	}
+}
+
 // TestMutationLeavesRelaxedSpecsAlone: MutSCOverlap targets the SC
 // pipelines only; a relaxed spec passes through unchanged, so mutated
 // relaxed runs behave identically to unmutated ones.

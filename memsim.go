@@ -11,7 +11,7 @@ import (
 type Model = consistency.Model
 
 // The predefined system types (the paper's Table 1 plus the §5.1
-// blocking-load variants).
+// blocking-load variants and the model zoo).
 const (
 	SC1  = consistency.SC1
 	SC2  = consistency.SC2
@@ -20,6 +20,9 @@ const (
 	RC   = consistency.RC
 	BSC1 = consistency.BSC1
 	BWO1 = consistency.BWO1
+	TSO  = consistency.TSO
+	PSO  = consistency.PSO
+	PC   = consistency.PC
 )
 
 // Models lists every predefined model.
@@ -27,6 +30,10 @@ var Models = consistency.Models
 
 // ParseModel converts a name like "SC1" or "bwo1" to a Model.
 func ParseModel(s string) (Model, error) { return consistency.ParseModel(s) }
+
+// ModelNames lists the canonical model names in presentation order,
+// for CLI flag help and error messages.
+func ModelNames() []string { return consistency.ModelNames() }
 
 // Config describes the simulated machine. Zero fields take the paper's
 // defaults (2-way caches, 5 MSHRs, 4-entry network buffers, 4-cycle
