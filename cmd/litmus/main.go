@@ -14,9 +14,15 @@
 //	litmus -models                   # describe the model zoo's hardware
 //	litmus -mutate sc-overlap        # seed the SC self-check defect
 //	litmus -mutate wb-no-drain       # seed the write-buffer defect
+//	litmus -json > verdicts.json     # record self-contained verdicts
+//	litmus -replay verdicts.json     # re-run recorded violations
 //
 // Exit status is nonzero if any run produced an outcome outside its
-// model's allowed set. SIGINT/SIGTERM stops the sweep cleanly: the
+// model's allowed set. With -replay the convention flips to match:
+// each recorded violation is re-executed bit-exactly from its embedded
+// run spec (program text, machine config, seed), and the exit status
+// is nonzero iff a violation reproduces — a recorded defect that has
+// since been fixed replays clean and exits 0. SIGINT/SIGTERM stops the sweep cleanly: the
 // in-flight simulation is canceled at its next context poll, every
 // completed (test, model) pair is reported in full, the interrupted
 // pair reports the partial coverage it gathered, and the process
@@ -28,6 +34,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
@@ -49,6 +56,7 @@ func main() {
 		list    = flag.Bool("list", false, "list the test library and exit")
 		modelsF = flag.Bool("models", false, "list the model zoo with hardware summaries and exit")
 		mutate  = flag.String("mutate", "", "seed a spec defect (sc-overlap, wb-no-drain) for the self-check")
+		replayF = flag.String("replay", "", "replay recorded violations from a -json verdict file; exit nonzero iff one reproduces")
 	)
 	flag.Parse()
 
@@ -67,6 +75,16 @@ func main() {
 		return
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if *replayF != "" {
+		if err := replayVerdicts(ctx, *replayF); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	tests, err := selectTests(*testF)
 	if err != nil {
 		fatal(err)
@@ -75,19 +93,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var mut consistency.Mutation
-	switch *mutate {
-	case "":
-	case "sc-overlap":
-		mut = consistency.MutSCOverlap
-	case "wb-no-drain":
-		mut = consistency.MutWBNoDrain
-	default:
-		fatal(fmt.Errorf("unknown mutation %q (try sc-overlap or wb-no-drain)", *mutate))
+	mut, err := consistency.ParseMutation(*mutate)
+	if err != nil {
+		fatal(err)
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
 
 	cfg := litmus.Config{Runs: *runs, Seed: *seed, Mutate: mut, Ctx: ctx}
 	enc := json.NewEncoder(os.Stdout)
@@ -125,6 +134,56 @@ func main() {
 			ranPairs, pairs)
 		os.Exit(130)
 	}
+}
+
+// replayVerdicts re-executes every recorded violation in a -json
+// verdict stream from its embedded run spec and reports which ones
+// still reproduce. The exit convention is inverted relative to a
+// sweep: nonzero iff a violation reproduces.
+func replayVerdicts(ctx context.Context, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	dec := json.NewDecoder(f)
+	total, reproduced, skipped := 0, 0, 0
+	for {
+		var rep litmus.Report
+		if err := dec.Decode(&rep); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for _, v := range rep.Violations {
+			if v.Replay == nil {
+				skipped++
+				fmt.Printf("SKIP %-10s %-5s %q (verdict predates embedded run specs)\n",
+					rep.Test, rep.Model, v.Outcome)
+				continue
+			}
+			total++
+			key, ok, err := v.Reproduce(ctx)
+			if err != nil {
+				return err
+			}
+			verdict := "CLEAN"
+			if ok {
+				verdict = "REPRO"
+				reproduced++
+			}
+			fmt.Printf("%-5s %-10s %-5s seed=%d recorded=%q replayed=%q\n",
+				verdict, rep.Test, rep.Model, v.Seed, v.Outcome, key)
+		}
+	}
+	fmt.Printf("litmus: replayed %d recorded violation(s): %d reproduced, %d skipped\n",
+		total, reproduced, skipped)
+	if reproduced > 0 {
+		os.Exit(1)
+	}
+	return nil
 }
 
 func selectTests(name string) ([]*litmus.Test, error) {

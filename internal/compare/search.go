@@ -217,6 +217,16 @@ func toSet(keys []string) map[string]bool {
 
 // synthTest wraps an enumerated program as a runnable litmus test.
 func synthTest(prog []litmus.Thread) (*litmus.Test, int) {
+	return SynthTest(prog)
+}
+
+// SynthTest wraps an arbitrary declarative program as a runnable
+// litmus test: locations get the standard x/y/z/w names and the SC
+// outcome set comes from the interleaving oracle. The difftest
+// generator builds its random programs through this same path so the
+// comparator and the differential tester can never disagree about
+// what a program means.
+func SynthTest(prog []litmus.Thread) (*litmus.Test, int) {
 	nlocs, ops := 0, 0
 	for _, th := range prog {
 		ops += len(th)

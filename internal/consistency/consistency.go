@@ -365,6 +365,24 @@ const (
 	MutWBNoDrain
 )
 
+// Mutations lists every defined mutation, MutNone first.
+var Mutations = []Mutation{MutNone, MutSCOverlap, MutWBNoDrain}
+
+// ParseMutation converts a mutation name ("none", "sc-overlap",
+// "wb-no-drain", or "" for none) back to a Mutation. CLIs and replay
+// bundles share it so a recorded defect round-trips exactly.
+func ParseMutation(s string) (Mutation, error) {
+	if s == "" {
+		return MutNone, nil
+	}
+	for _, mu := range Mutations {
+		if s == mu.String() {
+			return mu, nil
+		}
+	}
+	return 0, fmt.Errorf("consistency: unknown mutation %q (valid: none, sc-overlap, wb-no-drain)", s)
+}
+
 func (mu Mutation) String() string {
 	switch mu {
 	case MutNone:

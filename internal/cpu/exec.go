@@ -270,6 +270,16 @@ func (c *CPU) execPrivate(in isa.Inst, addr uint64, t sim.Cycle) {
 // access (e.g. a sync load hit holds the processor for the load
 // delay).
 func (c *CPU) sharedAccess(in isa.Inst, addr uint64, t sim.Cycle) (accStatus, sim.Cycle) {
+	// Per-location coherence across a pending release: a buffered
+	// release performs in the background, possibly after program-later
+	// accesses — fine for other addresses (that is the point of RC),
+	// but an access to the release's own address must wait, or a later
+	// store is overwritten by the earlier release (and a later load
+	// reads stale data).
+	if rel := c.release; rel != nil && rel.addr == addr {
+		c.park(parkRelease, t)
+		return accRetry, 0
+	}
 	switch c.effectiveClass(in.Class) {
 	case isa.ClassPlain:
 		return c.plainAccess(in, addr, t)

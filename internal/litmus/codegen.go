@@ -43,13 +43,27 @@ const (
 // with it the home-module assignment) varies across runs.
 type Layout struct {
 	Base uint64 // byte address of location 0 (8-byte aligned)
+
+	// Stride is the byte distance between consecutive locations; 0
+	// means the default locStride (72: always distinct cache lines).
+	// The difftest generator sets 8 to pack locations into adjacent
+	// words — false sharing: distinct abstract locations land on one
+	// cache line at line sizes >= 16, so the coherence protocol
+	// bounces a line that both threads think they own privately.
+	Stride uint64 `json:"stride,omitempty"`
 }
 
 // DefaultLayout is the unperturbed placement.
 var DefaultLayout = Layout{Base: locBase}
 
 // Addr is the shared byte address of location loc.
-func (l Layout) Addr(loc int) uint64 { return l.Base + uint64(loc)*locStride }
+func (l Layout) Addr(loc int) uint64 {
+	s := l.Stride
+	if s == 0 {
+		s = locStride
+	}
+	return l.Base + uint64(loc)*s
+}
 
 // annSuffix renders an annotation as asm syntax.
 func annSuffix(a Ann) string {

@@ -89,8 +89,8 @@ type Relaxed struct {
 // LoadRef names an observed load: which processor's register holds
 // its value after the run.
 type LoadRef struct {
-	Thread int
-	Reg    isa.Reg
+	Thread int     `json:"thread"`
+	Reg    isa.Reg `json:"reg"`
 }
 
 // Test is one litmus test. Most tests are declarative (Threads set):
@@ -105,6 +105,11 @@ type Test struct {
 	LocNames []string
 	Threads  []Thread
 	Relaxed  []Relaxed
+
+	// Stride overrides the layout's location stride (0 = default 72,
+	// distinct cache lines). The difftest generator sets 8 on its
+	// false-sharing programs so locations share a line.
+	Stride uint64
 
 	// Custom-test fields (mutually exclusive with Threads).
 	NThreads int
@@ -147,6 +152,16 @@ func (t *Test) loadRefs() []LoadRef {
 // Key renders an outcome as the canonical string used for allowed-set
 // membership and reporting, e.g. "P0:r4=0 P1:r4=1 | x=1 y=1".
 func (t *Test) Key(refs []LoadRef, o Outcome) string {
+	names := make([]string, len(o.Mem))
+	for i := range names {
+		names[i] = t.locName(i)
+	}
+	return FormatKey(refs, names, o)
+}
+
+// FormatKey renders an outcome key from its raw parts, so a replay
+// bundle can reproduce keys without the Test that produced them.
+func FormatKey(refs []LoadRef, locNames []string, o Outcome) string {
 	var b strings.Builder
 	for i, r := range refs {
 		if i > 0 {
@@ -161,7 +176,7 @@ func (t *Test) Key(refs []LoadRef, o Outcome) string {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
-		fmt.Fprintf(&b, "%s=%d", t.locName(i), v)
+		fmt.Fprintf(&b, "%s=%d", locNames[i], v)
 	}
 	return b.String()
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"memsim/internal/asm"
 	"memsim/internal/consistency"
 	"memsim/internal/isa"
 	"memsim/internal/machine"
@@ -44,10 +45,29 @@ type Config struct {
 }
 
 // Violation is one observed outcome outside the model's allowed set.
+// Replay embeds everything needed to re-execute the offending run
+// bit-exactly — assembled program text, machine configuration,
+// observed-load registry, location addresses — so a recorded verdict
+// reproduces even against a source tree whose litmus library (or
+// perturbation driver) has since changed.
 type Violation struct {
-	Seed    int64  `json:"seed"`
-	Config  string `json:"config"`
-	Outcome string `json:"outcome"`
+	Seed    int64    `json:"seed"`
+	Config  string   `json:"config"`
+	Outcome string   `json:"outcome"`
+	Replay  *RunSpec `json:"replay,omitempty"`
+}
+
+// Reproduce re-executes the violation's embedded replay record and
+// reports whether the recorded forbidden outcome came back.
+func (v *Violation) Reproduce(ctx context.Context) (key string, reproduced bool, err error) {
+	if v.Replay == nil {
+		return "", false, errors.New("litmus: violation carries no replay record (recorded before verdicts were self-contained?)")
+	}
+	key, err = v.Replay.Execute(ctx)
+	if err != nil {
+		return "", false, err
+	}
+	return key, key == v.Outcome, nil
 }
 
 // Report is the verdict of one (test, model) conformance run. When
@@ -56,6 +76,7 @@ type Violation struct {
 type Report struct {
 	Test        string         `json:"test"`
 	Model       string         `json:"model"`
+	Mutate      string         `json:"mutate,omitempty"`
 	Runs        int            `json:"runs"`
 	Allowed     []string       `json:"allowed"`
 	Witnessed   map[string]int `json:"witnessed"`
@@ -165,22 +186,104 @@ func procsFor(threads int) int {
 	return p
 }
 
-// RunOne executes a single seeded run of a test under a model and
-// returns the observed outcome key. A nil ctx runs uninterruptible; a
-// canceled ctx surfaces as a Canceled SimError unwrapping to the
-// context error.
-func RunOne(ctx context.Context, t *Test, model consistency.Model, seed int64, mutate consistency.Mutation) (string, error) {
+// RunSpec is the fully resolved plan of one seeded litmus run: the
+// assembled per-thread programs (as re-assemblable text), the exact
+// machine configuration the perturbation driver drew for the seed,
+// the observed-load registry, and the shared addresses of the test's
+// locations. It is the self-contained replay record embedded in
+// violation verdicts and difftest repro bundles: Execute reproduces
+// the run bit-exactly from the record alone, with no dependency on
+// the test library or driver version that produced it.
+type RunSpec struct {
+	Test     string         `json:"test"`
+	Model    string         `json:"model"`
+	Seed     int64          `json:"seed"`
+	Mutate   string         `json:"mutate,omitempty"`
+	Programs []string       `json:"programs"` // asm text, one per test thread
+	Machine  machine.Config `json:"machine"`
+	Refs     []LoadRef      `json:"refs"`
+	LocNames []string       `json:"loc_names"`
+	LocAddrs []uint64       `json:"loc_addrs"`
+	Desc     string         `json:"desc,omitempty"` // human-readable variation summary
+
+	progs [][]isa.Inst // compiled programs, cached by Setup
+}
+
+// Setup resolves one seeded run without executing it: it derives the
+// perturbation variation from the seed, generates and assembles the
+// test's programs, and returns the serializable RunSpec.
+func Setup(t *Test, model consistency.Model, seed int64, mutate consistency.Mutation) (*RunSpec, error) {
 	x := uint64(seed)
 	splitmix64(&x) // decorrelate consecutive seeds
 	threads := t.NumThreads()
 	v := drawVariation(&x, threads)
+	v.layout.Stride = t.Stride
 
 	progs, refs, err := t.Programs(v.layout, v.stagger, v.warm)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	procs := procsFor(threads)
-	all := make([][]isa.Inst, procs)
+	rs := &RunSpec{
+		Test:  t.Name,
+		Model: model.String(),
+		Seed:  seed,
+		Machine: machine.Config{
+			Procs:       procsFor(threads),
+			Model:       model,
+			CacheSize:   v.cacheSize,
+			LineSize:    v.lineSize,
+			MSHRs:       v.mshrs,
+			NetBuf:      v.netBuf,
+			LoadDelay:   v.loadDelay,
+			SharedWords: 1 << 11,
+			Faults:      v.faults,
+			Mutate:      mutate,
+		},
+		Refs:     refs,
+		LocNames: make([]string, t.NLocs),
+		LocAddrs: make([]uint64, t.NLocs),
+		Desc:     v.String(),
+		progs:    progs,
+	}
+	if mutate != consistency.MutNone {
+		rs.Mutate = mutate.String()
+	}
+	rs.Programs = make([]string, len(progs))
+	for i, p := range progs {
+		rs.Programs[i] = asm.Disassemble(p)
+	}
+	for l := 0; l < t.NLocs; l++ {
+		rs.LocNames[l] = t.locName(l)
+		rs.LocAddrs[l] = v.layout.Addr(l)
+	}
+	return rs, nil
+}
+
+// Execute runs the spec on the simulated machine and returns the
+// observed outcome key. A spec decoded from JSON re-assembles its
+// embedded program text; one fresh from Setup reuses the compiled
+// programs. A nil ctx runs uninterruptible; a canceled ctx surfaces
+// as a Canceled SimError unwrapping to the context error.
+func (rs *RunSpec) Execute(ctx context.Context) (string, error) {
+	progs := rs.progs
+	if progs == nil {
+		progs = make([][]isa.Inst, len(rs.Programs))
+		for i, src := range rs.Programs {
+			p, err := asm.Assemble(src)
+			if err != nil {
+				return "", fmt.Errorf("litmus: replay %s/%s seed %d thread %d: %w", rs.Test, rs.Model, rs.Seed, i, err)
+			}
+			progs[i] = p
+		}
+	}
+	cfg := rs.Machine
+	mu, err := consistency.ParseMutation(rs.Mutate)
+	if err != nil {
+		return "", fmt.Errorf("litmus: replay %s/%s seed %d: %w", rs.Test, rs.Model, rs.Seed, err)
+	}
+	cfg.Mutate = mu // Config.Mutate is json:"-"; the string field is authoritative
+
+	all := make([][]isa.Inst, cfg.Procs)
 	for i := range all {
 		if i < len(progs) {
 			all[i] = progs[i]
@@ -188,38 +291,35 @@ func RunOne(ctx context.Context, t *Test, model consistency.Model, seed int64, m
 			all[i] = haltProg
 		}
 	}
-
-	cfg := machine.Config{
-		Procs:       procs,
-		Model:       model,
-		CacheSize:   v.cacheSize,
-		LineSize:    v.lineSize,
-		MSHRs:       v.mshrs,
-		NetBuf:      v.netBuf,
-		LoadDelay:   v.loadDelay,
-		SharedWords: 1 << 11,
-		Faults:      v.faults,
-		Mutate:      mutate,
-	}
 	m, err := machine.New(cfg, all)
 	if err != nil {
-		return "", fmt.Errorf("litmus: %s/%s seed %d (%s): %w", t.Name, model, seed, v, err)
+		return "", fmt.Errorf("litmus: %s/%s seed %d (%s): %w", rs.Test, rs.Model, rs.Seed, rs.Desc, err)
 	}
 	if _, err := m.RunControlled(machine.RunControl{MaxEvents: runBudget, Ctx: ctx}); err != nil {
-		return "", fmt.Errorf("litmus: %s/%s seed %d (%s): %w", t.Name, model, seed, v, err)
+		return "", fmt.Errorf("litmus: %s/%s seed %d (%s): %w", rs.Test, rs.Model, rs.Seed, rs.Desc, err)
 	}
 
 	o := Outcome{
-		Loads: make([]uint64, len(refs)),
-		Mem:   make([]uint64, t.NLocs),
+		Loads: make([]uint64, len(rs.Refs)),
+		Mem:   make([]uint64, len(rs.LocAddrs)),
 	}
-	for i, r := range refs {
+	for i, r := range rs.Refs {
 		o.Loads[i] = m.CPU(r.Thread).Reg(r.Reg)
 	}
-	for l := 0; l < t.NLocs; l++ {
-		o.Mem[l] = m.ReadWord(v.layout.Addr(l))
+	for l, addr := range rs.LocAddrs {
+		o.Mem[l] = m.ReadWord(addr)
 	}
-	return t.Key(refs, o), nil
+	return FormatKey(rs.Refs, rs.LocNames, o), nil
+}
+
+// RunOne executes a single seeded run of a test under a model and
+// returns the observed outcome key.
+func RunOne(ctx context.Context, t *Test, model consistency.Model, seed int64, mutate consistency.Mutation) (string, error) {
+	rs, err := Setup(t, model, seed, mutate)
+	if err != nil {
+		return "", err
+	}
+	return rs.Execute(ctx)
 }
 
 // Run executes the full perturbed conformance sweep of one test under
@@ -239,6 +339,9 @@ func Run(t *Test, model consistency.Model, cfg Config) (*Report, error) {
 		Allowed:   t.AllowedKeys(spec),
 		Witnessed: make(map[string]int),
 	}
+	if cfg.Mutate != consistency.MutNone {
+		rep.Mutate = cfg.Mutate.String()
+	}
 	for i := 0; i < cfg.Runs; i++ {
 		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
 			rep.Runs, rep.Interrupted = i, true
@@ -257,13 +360,17 @@ func Run(t *Test, model consistency.Model, cfg Config) (*Report, error) {
 		}
 		rep.Witnessed[key]++
 		if !allowed[key] {
-			x := uint64(seed)
-			splitmix64(&x)
-			v := drawVariation(&x, t.NumThreads())
+			// Rebuild the run's full spec so the verdict is self-
+			// contained: the bundle replays without this library.
+			rs, rerr := Setup(t, model, seed, cfg.Mutate)
+			if rerr != nil {
+				return nil, rerr
+			}
 			rep.Violations = append(rep.Violations, Violation{
 				Seed:    seed,
-				Config:  v.String(),
+				Config:  rs.Desc,
 				Outcome: key,
+				Replay:  rs,
 			})
 		}
 	}

@@ -47,6 +47,12 @@ const (
 	// degrades to a failed run instead of killing a whole sweep or
 	// server worker pool.
 	Panic
+	// Conformance: the differential tester observed the hardware
+	// produce an outcome its model's contract forbids (or the
+	// spec-derived outcome engine disagreed with the SC interleaving
+	// oracle, which is an engine soundness bug). Detail names the
+	// program, model, and outcome involved.
+	Conformance
 )
 
 func (k Kind) String() string {
@@ -67,6 +73,8 @@ func (k Kind) String() string {
 		return "canceled"
 	case Panic:
 		return "panic"
+	case Conformance:
+		return "conformance"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
