@@ -1,0 +1,62 @@
+// 64-processor golden corpus.
+//
+// TestGoldenBig pins a small grid of 64-CPU runs — Gauss and Psim
+// under the paper's five system types at the Quick preset sizes —
+// in testdata/golden/big.json. It complements the 8-processor corpus:
+// big machines exercise the radix-4 network at more stages, the wide
+// directory sharer maps, and the spin fast-forward path under heavy
+// barrier contention. The grid is computed twice with independent
+// runners and must agree with itself before it is compared against
+// the pinned corpus, so flakiness is distinguishable from drift.
+//
+// Regenerate after an intentional behavior change with:
+//
+//	go test -run TestGoldenBig -update
+package memsim_test
+
+import (
+	"testing"
+
+	"memsim/internal/experiments"
+)
+
+const bigGoldenPath = "testdata/golden/big.json"
+
+const bigGoldenProcs = 64
+
+func bigGoldenGrid(p experiments.Params) []experiments.RunSpec {
+	var specs []experiments.RunSpec
+	for _, b := range []experiments.Bench{experiments.BGauss, experiments.BPsim} {
+		for _, m := range goldenModels {
+			specs = append(specs, experiments.RunSpec{
+				Bench: b, Model: m, Procs: bigGoldenProcs,
+				CacheSize: p.LargeCache, LineSize: p.LineSizes[len(p.LineSizes)-1],
+			})
+		}
+	}
+	return specs
+}
+
+func TestGoldenBig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-CPU golden corpus runs full simulations; skipped in -short mode")
+	}
+	p := experiments.Quick()
+	grid := bigGoldenGrid(p)
+	got := computeChecksums(t, experiments.NewRunner(p), grid)
+	again := computeChecksums(t, experiments.NewRunner(p), grid)
+	for k, v := range got {
+		if again[k] != v {
+			t.Errorf("%s: two runs disagree (%s vs %s) — nondeterminism, not drift", k, v, again[k])
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	if *update {
+		writeGolden(t, bigGoldenPath, got)
+		return
+	}
+	compareGolden(t, bigGoldenPath, got)
+}

@@ -42,6 +42,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"memsim"
 	"memsim/internal/machine"
@@ -62,7 +63,8 @@ func main() {
 		iters = flag.Int("iters", 2, "relax iterations")
 		sched = flag.String("sched", "default", "relax schedule: default, miss-first, miss-last")
 		seed  = flag.Int64("seed", 1992, "workload seed")
-		vflag = flag.Bool("v", false, "print per-processor detail")
+		vflag  = flag.Bool("v", false, "print per-processor detail")
+		noskip = flag.Bool("no-idle-skip", false, "disable spin fast-forward (A/B timing verification; never changes results)")
 		trc   = flag.Int("trace", 0, "dump the last N coherence-protocol events")
 
 		metricsF = flag.String("metrics", "", "write the cycle-attribution report as JSON to this file (\"-\": stdout)")
@@ -100,6 +102,7 @@ func main() {
 		LoadDelay:   *delay,
 		StallCycles: *stall,
 		CheckEvery:  *checkEvery,
+		NoSpinSkip:  *noskip,
 	}
 	if *faultProb > 0 {
 		cfg.Faults = robust.Faults{Seed: *faultSeed, DelayProb: *faultProb, MaxExtraDelay: *faultDelay}
@@ -136,7 +139,9 @@ func main() {
 		os.Exit(130)
 	}()
 
-	res, err := run(ctx, cfg, w, rec, mc, *ckptF, *ckptEvery, *restoreF)
+	wallStart := time.Now()
+	res, syncProg, err := run(ctx, cfg, w, rec, mc, *ckptF, *ckptEvery, *restoreF)
+	wall := time.Since(wallStart).Seconds()
 	if err != nil {
 		var se *robust.SimError
 		if *diag && errors.As(err, &se) && se.Dump != "" {
@@ -148,6 +153,12 @@ func main() {
 		fatal(err)
 	}
 
+	// Host-side throughput goes to stderr so stdout stays byte-stable
+	// across hosts and across -no-idle-skip A/B comparisons.
+	if wall > 0 {
+		fmt.Fprintf(os.Stderr, "mcsim: %d events in %.2fs host wall (%.1f Mevents/s, %.1f Mcycles/s)\n",
+			res.Events, wall, float64(res.Events)/wall/1e6, float64(res.Cycles)/wall/1e6)
+	}
 	fmt.Printf("%s on %s: procs=%d cache=%dK line=%dB delay=%d\n",
 		w.Name, m, *procs, *cache>>10, *line, *delay)
 	fmt.Printf("  run time        %12d cycles\n", res.Cycles)
@@ -157,7 +168,7 @@ func main() {
 	fmt.Printf("  shared writes   %12d  (hit %5.1f%%)\n", res.TotalWrites(), 100*res.WriteHitRate())
 	fmt.Printf("  overall hits    %17.1f%%\n", 100*res.HitRate())
 	fmt.Printf("  invalidation miss fraction %6.1f%%\n", 100*res.InvalidationMissFraction())
-	fmt.Printf("  sync operations %12d\n", res.SyncOps())
+	fmt.Printf("  sync operations %12d  (program sync instrs %d)\n", res.SyncOps(), syncProg)
 	fmt.Printf("  module util spread %9.2fx\n", res.ModuleUtilizationSpread())
 	fmt.Printf("  request net: %d msgs, %d bypasses; response net: %d msgs\n",
 		res.ReqNet.Messages, res.ReqNet.Bypasses, res.RespNet.Messages)
@@ -232,7 +243,7 @@ func writeTo(path string, write func(io.Writer) error) error {
 // run executes the workload, optionally with a protocol tracer, a
 // metrics collector, checkpointing, and a snapshot to restore from.
 func run(ctx context.Context, cfg memsim.Config, w memsim.Workload, rec *trace.Recorder, mc *memsim.Metrics,
-	ckpt string, ckptEvery uint64, restore string) (memsim.Result, error) {
+	ckpt string, ckptEvery uint64, restore string) (memsim.Result, uint64, error) {
 	if cfg.Procs == 0 {
 		cfg.Procs = w.Procs
 	}
@@ -241,7 +252,7 @@ func run(ctx context.Context, cfg memsim.Config, w memsim.Workload, rec *trace.R
 	}
 	m, err := machine.New(cfg, w.Programs)
 	if err != nil {
-		return memsim.Result{}, err
+		return memsim.Result{}, 0, err
 	}
 	if rec != nil {
 		m.AttachTracer(rec)
@@ -250,10 +261,10 @@ func run(ctx context.Context, cfg memsim.Config, w memsim.Workload, rec *trace.R
 	if restore != "" {
 		snap, err := machine.ReadSnapshotFile(restore)
 		if err != nil {
-			return memsim.Result{}, err
+			return memsim.Result{}, 0, err
 		}
 		if err := m.Restore(snap); err != nil {
-			return memsim.Result{}, err
+			return memsim.Result{}, 0, err
 		}
 		fmt.Fprintf(os.Stderr, "mcsim: restored %s at cycle %d\n", restore, m.Eng.Now())
 	} else if w.Setup != nil {
@@ -272,14 +283,14 @@ func run(ctx context.Context, cfg memsim.Config, w memsim.Workload, rec *trace.R
 	}
 	res, err := m.RunControlled(rc)
 	if err != nil {
-		return res, err
+		return res, m.SyncInstructions(), err
 	}
 	if w.Validate != nil {
 		if err := w.Validate(m.Shared()); err != nil {
-			return res, err
+			return res, m.SyncInstructions(), err
 		}
 	}
-	return res, nil
+	return res, m.SyncInstructions(), nil
 }
 
 func buildWorkload(bench string, procs, n, iters int, sched string, seed int64) (memsim.Workload, error) {
@@ -287,6 +298,9 @@ func buildWorkload(bench string, procs, n, iters int, sched string, seed int64) 
 	case "gauss":
 		if n == 0 {
 			n = 96
+			if procs > n {
+				n = procs // at least one matrix row per processor
+			}
 		}
 		return memsim.GaussWorkload(procs, n, seed), nil
 	case "qsort":
@@ -297,6 +311,9 @@ func buildWorkload(bench string, procs, n, iters int, sched string, seed int64) 
 	case "relax":
 		if n == 0 {
 			n = 64
+			if procs > n {
+				n = procs // at least one grid row per processor
+			}
 		}
 		s, err := parseSched(sched)
 		if err != nil {
@@ -307,7 +324,14 @@ func buildWorkload(bench string, procs, n, iters int, sched string, seed int64) 
 		if n == 0 {
 			n = 48
 		}
-		return memsim.PsimWorkload(procs, 64, n, seed), nil
+		// Scale the simulated network with the machine (four ports per
+		// processor once the machine outgrows the historical 64-port
+		// default) so every processor injects and services packets.
+		ports := 64
+		if 4*procs > ports {
+			ports = 4 * procs
+		}
+		return memsim.PsimWorkload(procs, ports, n, seed), nil
 	}
 	return memsim.Workload{}, fmt.Errorf("unknown benchmark %q", bench)
 }

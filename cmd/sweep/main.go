@@ -14,7 +14,8 @@
 // Experiments: t2 (Table 2 + appendix), f2, f4, f5, f6, f7, f8, f9,
 // t3-6 (the delay-sensitivity tables), the extension ablations
 // rwo (read-with-ownership Qsort) and mshr (WO1 MSHR-count sweep),
-// and zoo (TSO/PSO/PC gains and MWPI next to the paper's models).
+// zoo (TSO/PSO/PC gains and MWPI next to the paper's models), and
+// scaling (the SC1-vs-RC gap from 16 up to 256 processors).
 //
 // One Runner (and its memoization cache) is shared by every path —
 // -md and -all/-exp together run shared baselines once, and -j spreads
@@ -61,7 +62,7 @@ import (
 func main() {
 	var (
 		all      = flag.Bool("all", false, "run every experiment")
-		exp      = flag.String("exp", "", "comma-separated experiment ids (t2,f2,f4,f5,f6,f7,f8,f9,t3-6,rwo,mshr,zoo)")
+		exp      = flag.String("exp", "", "comma-separated experiment ids (t2,f2,f4,f5,f6,f7,f8,f9,t3-6,rwo,mshr,zoo,scaling)")
 		preset   = flag.String("preset", "scaled", "parameter preset: quick, scaled, paper")
 		outF     = flag.String("out", "", "also write the report to this file")
 		mdF      = flag.String("md", "", "write the full EXPERIMENTS.md-style report to this file")
@@ -187,6 +188,8 @@ func main() {
 
 	ids := []string{}
 	if *all {
+		// scaling is not part of -all: its 128/256-processor runs take
+		// minutes even at the quick preset. Request it with -exp scaling.
 		ids = []string{"t2", "f2", "f4", "f5", "f6", "f7", "f8", "f9", "t3-6", "rwo", "mshr", "zoo"}
 	} else if *exp != "" {
 		ids = strings.Split(*exp, ",")
@@ -338,6 +341,9 @@ func runOne(r *experiments.Runner, id string) (string, error) {
 	case "zoo":
 		z, err := experiments.RunZoo(r)
 		return stringify(z, err)
+	case "scaling":
+		s, err := experiments.RunScaling(r)
+		return stringify(s, err)
 	}
 	return "", fmt.Errorf("unknown experiment %q", id)
 }

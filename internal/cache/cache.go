@@ -221,6 +221,13 @@ type Cache struct {
 	// processor uses it to re-evaluate stalled accesses.
 	onRetireAny func()
 
+	// watchLine/watchFn is the processor's spin-park watch: fn fires
+	// (once) the moment the line's local state next changes. At most
+	// one watch is ever active — the cache's single processor has a
+	// single spin (cpu/spin.go).
+	watchLine uint64
+	watchFn   func()
+
 	lruClock uint64
 	stats    Stats
 	mc       *metrics.Collector // nil: no metrics collection
@@ -343,6 +350,56 @@ func (c *Cache) freeMSHR() *mshr {
 		}
 	}
 	return nil
+}
+
+// WatchLine registers fn to fire whenever lineAddr's local state
+// changes for any reason — invalidation, recall (either flavor), or
+// eviction by a fill. The watch persists until Unwatch.
+func (c *Cache) WatchLine(lineAddr uint64, fn func()) {
+	if c.watchFn != nil {
+		panic("cache: line watch already registered")
+	}
+	c.watchLine = lineAddr
+	c.watchFn = fn
+}
+
+// Unwatch removes the active line watch; the processor calls it when
+// the spin park resumes live execution.
+func (c *Cache) Unwatch() { c.watchFn = nil }
+
+// notifyWatch fires the watch callback if it covers lineAddr. The
+// callback only raises a flag in the processor (it schedules nothing),
+// so firing repeatedly or at any point inside message handling is
+// safe. The watch stays registered until Unwatch — line protection in
+// victim selection must persist until the processor's deferred LRU
+// touches are applied at resume.
+func (c *Cache) notifyWatch(lineAddr uint64) {
+	if c.watchFn != nil && c.watchLine == lineAddr {
+		c.watchFn()
+	}
+}
+
+// watchProtected reports whether a valid way holds the watched line.
+// A spinning processor re-references its line every few cycles, so in
+// un-skipped execution it is always the set's most recently used way
+// and never the eviction victim; selection must honor that even
+// though idle-skip defers the LRU touches until wake.
+func (c *Cache) watchProtected(ln *line) bool {
+	return c.watchFn != nil && ln.state != Invalid && ln.tag == c.watchLine
+}
+
+// SpinTouches replays the cache-side effect of n spin-loop read hits
+// on lineAddr, batched at wake: per-access counters and the LRU
+// clock/stamp advance exactly as n Access(Read) hits would have. The
+// line may already be gone (an invalidation is what ends most spins);
+// the clock still advances as it did in un-skipped execution.
+func (c *Cache) SpinTouches(lineAddr uint64, n uint64) {
+	c.lruClock += n
+	if ln := c.lookup(lineAddr); ln != nil {
+		ln.lru = c.lruClock
+	}
+	c.stats.Reads += n
+	c.stats.ReadHits += n
 }
 
 // Probe reports whether an access of the given kind would hit right
@@ -493,6 +550,7 @@ func (c *Cache) Receive(msg memory.Msg) {
 			ln.state = Invalid
 			c.invalidated[msg.Line] = true
 			c.stats.InvalidatesSeen++
+			c.notifyWatch(msg.Line)
 		}
 		c.enqueue(memory.Msg{Kind: memory.InvAck, Line: msg.Line}, false)
 	case memory.RecallInv:
@@ -503,6 +561,7 @@ func (c *Cache) Receive(msg memory.Msg) {
 			ln.state = Invalid
 			c.invalidated[msg.Line] = true
 			c.stats.InvalidatesSeen++
+			c.notifyWatch(msg.Line)
 			c.enqueue(memory.Msg{Kind: memory.FlushInv, Line: msg.Line}, false)
 		} else {
 			c.enqueue(memory.Msg{Kind: memory.InvAck, Line: msg.Line}, false)
@@ -514,6 +573,7 @@ func (c *Cache) Receive(msg memory.Msg) {
 			}
 			ln.state = Shared
 			ln.dirty = false
+			c.notifyWatch(msg.Line)
 			c.enqueue(memory.Msg{Kind: memory.FlushShare, Line: msg.Line}, false)
 		} else {
 			c.enqueue(memory.Msg{Kind: memory.InvAck, Line: msg.Line}, false)
@@ -585,12 +645,20 @@ func (c *Cache) install(lineAddr uint64, excl bool) {
 		}
 	}
 	if victim < 0 {
-		victim = 0
-		for i := 1; i < len(set); i++ {
-			if set[i].lru < set[victim].lru {
+		for i := range set {
+			if c.watchProtected(&set[i]) {
+				continue
+			}
+			if victim < 0 || set[i].lru < set[victim].lru {
 				victim = i
 			}
 		}
+		if victim < 0 {
+			victim = 0 // direct-mapped set whose only way is being spun on
+		}
+		// Evicting the watched line ends its processor's spin at the
+		// next ghost iteration.
+		c.notifyWatch(set[victim].tag)
 		if set[victim].state == Exclusive {
 			// Write back owned lines (clean or dirty) so the directory
 			// learns the eviction; Shared lines leave silently.

@@ -160,6 +160,33 @@ type CPU struct {
 	wbLen  int
 	wbSeq  uint64 // drain sequence numbers (own space, not missSeq)
 
+	// Spin-wait fast-forward (spin.go). spinPC/spinNextT/spinPeriod
+	// track detection (the candidate load and its predicted next
+	// resync); the rest is the engaged park. spinning is distinct from
+	// parked: reconsider must never wake a spin park.
+	spinFF       bool // enabled (off under fault injection)
+	spinning     bool
+	spinStale    bool // the watched line's state changed; resume at next ghost
+	spinPC       int
+	spinNextT    sim.Cycle
+	spinPeriod   sim.Cycle
+	spinT0       sim.Cycle
+	spinSync     bool // sync/acquire-classed loop (vs plain)
+	spinAddr     uint64
+	spinVal      uint64
+	spinRd       isa.Reg
+	spinGhostFn  func()
+	spinNoticeFn func()
+
+	// syncInstrs counts retired instructions whose static class is a
+	// synchronization flavor (acquire, release, sync), independent of
+	// whether the consistency model's hardware treats them specially.
+	// Stats.SyncOps is the model-visible count — zero under SC, where
+	// sync accesses execute as ordinary shared accesses — so this is
+	// the workload-level ground truth a report can always show. Kept
+	// outside Stats: it must not perturb checksummed results.
+	syncInstrs uint64
+
 	// opFree heads the pendingOp free list; runFn is the prebuilt run
 	// callback handed to the engine (a method value built once, so
 	// scheduling allocates nothing).
@@ -182,6 +209,7 @@ type Config struct {
 	LoadDelay   int
 	BranchDelay int
 	MSHRs       int // machine MSHR count; bounds relaxed-model outstanding
+	NoSpinSkip  bool // disable spin fast-forward (required under fault injection)
 	OnHalt      func(id int)
 }
 
@@ -206,9 +234,13 @@ func New(eng *sim.Engine, cfg Config) *CPU {
 		loadDelay:   sim.Cycle(cfg.LoadDelay),
 		branchDelay: sim.Cycle(cfg.BranchDelay),
 		maxOut:      maxOut,
+		spinFF:      !cfg.NoSpinSkip,
+		spinPC:      -1,
 		onHalt:      cfg.OnHalt,
 	}
 	c.runFn = c.run
+	c.spinGhostFn = c.spinGhost
+	c.spinNoticeFn = c.spinNotice
 	c.cache.OnRetireAny(func() { c.reconsider() })
 	return c
 }
@@ -229,6 +261,10 @@ func (c *CPU) Priv() *PrivMem { return c.priv }
 // Stats returns a copy of the counters.
 func (c *CPU) Stats() Stats { return c.stats }
 
+// SyncInstrs returns the program-level count of retired
+// synchronization-classed instructions (see the field comment).
+func (c *CPU) SyncInstrs() uint64 { return c.syncInstrs }
+
 // SetMetrics attaches a cycle-attribution collector (nil disables).
 // Collection is purely observational: it never changes timing.
 func (c *CPU) SetMetrics(mc *metrics.Collector) { c.mc = mc }
@@ -248,6 +284,9 @@ func (c *CPU) OutstandingRefs() int { return c.outstanding }
 func (c *CPU) ParkedReason() string {
 	if c.halted {
 		return "halted"
+	}
+	if c.spinning {
+		return "spin"
 	}
 	if !c.parked {
 		if c.awaiting != nil && !c.awaiting.done {
@@ -476,6 +515,7 @@ func (c *CPU) run() {
 			if c.effectiveClass(in.Class) == isa.ClassPlain {
 				// Invisible to SC hardware: a no-op.
 				c.stats.Instructions++
+				c.syncInstrs++
 				c.pc++
 				t++
 				break
@@ -486,6 +526,7 @@ func (c *CPU) run() {
 			}
 			c.stats.Instructions++
 			c.stats.SyncOps++
+			c.syncInstrs++
 			c.pc++
 			t++
 
@@ -499,16 +540,27 @@ func (c *CPU) run() {
 			if !isa.IsShared(addr) {
 				c.execPrivate(in, addr, t)
 				c.stats.Instructions++
+				if in.Class != isa.ClassPlain {
+					c.syncInstrs++
+				}
 				c.pc++
 				t++
 				break
 			}
-			// Shared accesses are global events: resynchronize.
+			// Shared accesses are global events: resynchronize — or, if
+			// this is a detected spin loop whose value cannot change,
+			// park until the line's state does (spin.go).
 			if t > c.eng.Now() {
+				if c.spinTry(in, addr, t) {
+					return
+				}
 				c.schedule(t)
 				return
 			}
 			status, extra := c.sharedAccess(in, addr, t)
+			if status != accRetry && in.Class != isa.ClassPlain {
+				c.syncInstrs++
+			}
 			switch status {
 			case accDone:
 				c.stats.Instructions++

@@ -218,21 +218,26 @@ func boolTo64(b bool) uint64 {
 	return 0
 }
 
+// branchTaken evaluates a conditional branch's predicate.
+func branchTaken(op isa.Op, a, b uint64) bool {
+	switch op {
+	case isa.BEQ:
+		return a == b
+	case isa.BNE:
+		return a != b
+	case isa.BLT:
+		return int64(a) < int64(b)
+	case isa.BGE:
+		return int64(a) >= int64(b)
+	}
+	panic(fmt.Sprintf("cpu: branchTaken on %s", op))
+}
+
 // branchTarget evaluates a control-transfer instruction and returns
 // the next pc.
 func (c *CPU) branchTarget(in isa.Inst) int {
 	a := c.regs[in.Rs1]
-	b := c.regs[in.Rs2]
-	taken := false
 	switch in.Op {
-	case isa.BEQ:
-		taken = a == b
-	case isa.BNE:
-		taken = a != b
-	case isa.BLT:
-		taken = int64(a) < int64(b)
-	case isa.BGE:
-		taken = int64(a) >= int64(b)
 	case isa.J:
 		return int(in.Imm)
 	case isa.JAL:
@@ -240,10 +245,8 @@ func (c *CPU) branchTarget(in isa.Inst) int {
 		return int(in.Imm)
 	case isa.JR:
 		return int(a)
-	default:
-		panic(fmt.Sprintf("cpu: branchTarget on %s", in.Op))
 	}
-	if taken {
+	if branchTaken(in.Op, a, c.regs[in.Rs2]) {
 		return int(in.Imm)
 	}
 	return c.pc + 1

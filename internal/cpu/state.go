@@ -9,17 +9,23 @@ import (
 	"memsim/internal/sim"
 )
 
-// Event kinds for processor-owned engine events (sim.EventDesc.Kind).
-// The processor schedules exactly one kind of event — its run
-// callback — and all execution state lives in the CPU itself.
-const cpuEvRun uint8 = 1
+// Event kinds for processor-owned engine events (sim.EventDesc.Kind):
+// the run callback, and the spin fast-forward's ghost iteration
+// (spin.go). All execution state lives in the CPU itself.
+const (
+	cpuEvRun  uint8 = 1
+	cpuEvSpin uint8 = 2
+)
 
 // RestoreEvent rebuilds the callback for a saved processor event.
 func (c *CPU) RestoreEvent(d sim.EventDesc) (func(), error) {
-	if d.Kind != cpuEvRun {
-		return nil, fmt.Errorf("cpu: unknown event kind %d", d.Kind)
+	switch d.Kind {
+	case cpuEvRun:
+		return c.runFn, nil
+	case cpuEvSpin:
+		return c.spinGhostFn, nil
 	}
-	return c.runFn, nil
+	return nil, fmt.Errorf("cpu: unknown event kind %d", d.Kind)
 }
 
 // pendingOp flag bits in a serialized binder blob.
@@ -100,6 +106,12 @@ func (c *CPU) FinishRestore() error {
 		return fmt.Errorf("cpu %d: awaited op seq %d not found in any restored MSHR", c.id, c.wantAwaitSeq)
 	}
 	c.wantAwait = false
+	if c.spinning {
+		// The cache has loaded by now; re-arm the line watch the live
+		// spin park had registered when the snapshot was taken. The
+		// ghost event itself is restored by the engine (cpuEvSpin).
+		c.cache.WatchLine(c.cache.LineAddr(c.spinAddr), c.spinNoticeFn)
+	}
 	return nil
 }
 
@@ -170,6 +182,26 @@ type CPUState struct {
 	WBSeq uint64
 	WB    []WBEntryState
 
+	// Spin fast-forward (spin.go). A zero SpinNextT can never match a
+	// live resync cycle (t >= 1), so pre-idle-skip snapshots cannot
+	// falsely engage. Detection state (SpinPC / SpinNextT / SpinPeriod)
+	// is saved even when not spinning: the primed-then-confirm
+	// handshake must resume exactly where it left off for timing to
+	// stay bit-identical across snapshot/restore. An active spin's
+	// ghost event rides in the engine's own saved queue (cpuEvSpin).
+	Spinning   bool
+	SpinStale  bool
+	SpinPC     int
+	SpinNextT  sim.Cycle
+	SpinPeriod sim.Cycle
+	SpinT0     sim.Cycle
+	SpinSync   bool
+	SpinAddr   uint64
+	SpinVal    uint64
+	SpinRd     uint8
+
+	SyncInstrs uint64
+
 	Stats Stats
 	Priv  []PrivPage
 }
@@ -194,6 +226,17 @@ func (c *CPU) Save() (CPUState, error) {
 
 		PrefetchFired:  c.prefetchFired,
 		ReleaseBarrier: c.releaseBarrier,
+		Spinning:       c.spinning,
+		SpinStale:      c.spinStale,
+		SpinPC:         c.spinPC,
+		SpinNextT:      c.spinNextT,
+		SpinPeriod:     c.spinPeriod,
+		SpinT0:         c.spinT0,
+		SpinSync:       c.spinSync,
+		SpinAddr:       c.spinAddr,
+		SpinVal:        c.spinVal,
+		SpinRd:         uint8(c.spinRd),
+		SyncInstrs:     c.syncInstrs,
 		Stats:          c.stats,
 		Priv:           c.priv.save(),
 	}
@@ -249,6 +292,20 @@ func (c *CPU) Load(st CPUState) error {
 	c.awaitWhy = parkReason(st.AwaitWhy)
 	c.prefetchFired = st.PrefetchFired
 	c.releaseBarrier = st.ReleaseBarrier
+	c.spinning = st.Spinning
+	// Pre-idle-skip snapshots carry no spin fields; their zero SpinPC /
+	// SpinNextT can never confirm an engagement (resync cycles are >= 1),
+	// so loading them is harmless.
+	c.spinStale = st.SpinStale
+	c.spinPC = st.SpinPC
+	c.spinNextT = st.SpinNextT
+	c.spinPeriod = st.SpinPeriod
+	c.spinT0 = st.SpinT0
+	c.spinSync = st.SpinSync
+	c.spinAddr = st.SpinAddr
+	c.spinVal = st.SpinVal
+	c.spinRd = isa.Reg(st.SpinRd)
+	c.syncInstrs = st.SyncInstrs
 	c.stats = st.Stats
 	c.priv.load(st.Priv)
 	switch st.AwaitMode {

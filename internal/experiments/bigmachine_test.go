@@ -1,0 +1,179 @@
+package experiments
+
+// Big-machine regression tests: workload partitioning and stall
+// accounting at 64-256 processors. The psim partition checks pin the
+// fix for the large-P degeneracy where processors past the simulated
+// port count injected nothing (and, before the directory grew past a
+// 64-bit sharer mask, silently read stale lines).
+
+import (
+	"errors"
+	"testing"
+
+	"memsim/internal/consistency"
+	"memsim/internal/machine"
+	"memsim/internal/metrics"
+	"memsim/internal/sim"
+	"memsim/internal/workloads"
+)
+
+// bigProcs lists the machine sizes under test; -short keeps only the
+// smallest so the regression still runs in quick CI legs.
+func bigProcs(t *testing.T) []int {
+	if testing.Short() {
+		return []int{64}
+	}
+	return []int{64, 128, 256}
+}
+
+// bigCutoff bounds the partition probes at 128 and 256 processors.
+// The properties under test — every processor performs shared
+// accesses, every processor retires sync-classed instructions — hold
+// within the first moments of any healthy run (the degenerate psim
+// partitions left processors idle from cycle zero), so the probes
+// pause after a fixed prefix instead of paying for a complete
+// simulation: Gauss at 256 processors runs hundreds of millions of
+// cycles at the scaled problem size. 64-processor machines run to
+// completion and validate their output.
+const bigCutoff sim.Cycle = 4_000_000
+
+// runBig builds and runs one workload on a procs-sized machine,
+// pausing at cutoff (0: run to completion). Workload output is
+// validated only for complete runs.
+func runBig(t *testing.T, w workloads.Workload, model consistency.Model, mc *metrics.Collector, cutoff sim.Cycle) (machine.Result, *machine.Machine) {
+	t.Helper()
+	cfg := machine.Config{
+		Procs: w.Procs, Model: model,
+		CacheSize: 4 << 10, LineSize: 64, LoadDelay: 4,
+		SharedWords: w.SharedWords,
+	}
+	m, err := machine.New(cfg, w.Programs)
+	if err != nil {
+		t.Fatalf("New(%d procs): %v", w.Procs, err)
+	}
+	if mc != nil {
+		mc.EnsureProcs(w.Procs)
+		m.AttachMetrics(mc)
+	}
+	if w.Setup != nil {
+		w.Setup(m.Shared())
+	}
+	res, err := m.RunControlled(machine.RunControl{MaxEvents: 2_000_000_000, Until: cutoff})
+	if errors.Is(err, machine.ErrPaused) {
+		return m.ResultNow(), m
+	}
+	if err != nil {
+		t.Fatalf("Run(%d procs): %v", w.Procs, err)
+	}
+	if w.Validate != nil {
+		if err := w.Validate(m.Shared()); err != nil {
+			t.Fatalf("Validate(%d procs): %v", w.Procs, err)
+		}
+	}
+	return res, m
+}
+
+// cutoffFor returns the probe cutoff for a machine size: complete
+// runs at 64, a bounded prefix above.
+func cutoffFor(procs int) sim.Cycle {
+	if procs > 64 {
+		return bigCutoff
+	}
+	return 0
+}
+
+// bigWorkloads instantiates every benchmark scaled so each processor
+// owns real work at the given machine size (mirroring the runner's
+// big-machine scaling rules).
+func bigWorkloads(procs int) map[string]workloads.Workload {
+	return map[string]workloads.Workload{
+		"gauss": workloads.Gauss(procs, procs, 1992),
+		"qsort": workloads.Qsort(procs, 1200, 1992),
+		"relax": workloads.Relax(procs, procs, 1, workloads.RelaxDefault, 1992),
+		"psim":  workloads.Psim(procs, 4*procs, 12, 1992),
+	}
+}
+
+// TestEveryCPUDoesSharedWork: at 64, 128 and 256 processors, every
+// benchmark must give every processor at least one shared access —
+// the regression for psim's degenerate partitioning at large P.
+func TestEveryCPUDoesSharedWork(t *testing.T) {
+	for _, procs := range bigProcs(t) {
+		for name, w := range bigWorkloads(procs) {
+			res, _ := runBig(t, w, consistency.RC, nil, cutoffFor(procs))
+			for i, cs := range res.Caches {
+				if cs.Reads+cs.Writes == 0 {
+					t.Errorf("%s@%d: cpu %d executed no shared accesses", name, procs, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPsimSyncInstrsAtLargeP: psim at large P must report nonzero
+// synchronization work. Under SC the model-visible SyncOps is zero by
+// design (sync accesses run as ordinary shared accesses), so the
+// program-level counter is the observable that must stay nonzero.
+func TestPsimSyncInstrsAtLargeP(t *testing.T) {
+	for _, procs := range bigProcs(t) {
+		w := workloads.Psim(procs, 4*procs, 12, 1992)
+		res, m := runBig(t, w, consistency.SC1, nil, cutoffFor(procs))
+		if got := res.SyncOps(); got != 0 {
+			t.Errorf("psim@%d SC1: model-visible SyncOps = %d, want 0 (SC treats sync as plain)", procs, got)
+		}
+		if got := m.SyncInstructions(); got == 0 {
+			t.Errorf("psim@%d SC1: program-level sync instructions = 0, want > 0", procs)
+		}
+		perCPU := uint64(0)
+		for i := 0; i < procs; i++ {
+			if m.CPU(i).SyncInstrs() > 0 {
+				perCPU++
+			}
+		}
+		if perCPU != uint64(procs) {
+			t.Errorf("psim@%d: only %d/%d processors retired sync instructions", procs, perCPU, procs)
+		}
+	}
+}
+
+// TestStallCausePartition: on a 64-processor machine, for every
+// consistency model, the metrics profiler's per-cause stall cycles
+// must exactly partition the per-processor stall counters — including
+// the cycles replayed arithmetically by the spin fast-forward path.
+func TestStallCausePartition(t *testing.T) {
+	for _, model := range consistency.Models {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			mc := metrics.New()
+			w := workloads.Gauss(64, 64, 1992)
+			res, _ := runBig(t, w, model, mc, 0)
+			rep := mc.Report(uint64(res.Cycles))
+
+			var wantTotal uint64
+			for i, cs := range res.CPUs {
+				row := rep.Stalls.PerCPU[i]
+				checks := []struct {
+					name string
+					got  uint64
+					want uint64
+				}{
+					{"load-miss", row[metrics.CauseLoadMiss], cs.StallLoadWait + cs.StallBlocking},
+					{"store-own", row[metrics.CauseStoreOwn], cs.StallOutstanding + cs.StallRelease},
+					{"sync-drain", row[metrics.CauseSyncDrain], cs.StallDrain + cs.StallSync},
+					{"mshr", row[metrics.CauseMSHRConflict] + row[metrics.CauseMSHRFull], cs.StallConflict},
+					{"interlock", row[metrics.CauseInterlock], cs.StallInterlock},
+				}
+				for _, c := range checks {
+					if c.got != c.want {
+						t.Errorf("cpu %d %s: profiler %d != stats %d", i, c.name, c.got, c.want)
+					}
+				}
+				wantTotal += cs.StallInterlock + cs.StallLoadWait + cs.StallOutstanding +
+					cs.StallConflict + cs.StallDrain + cs.StallSync + cs.StallBlocking + cs.StallRelease
+			}
+			if rep.Stalls.TotalStalled != wantTotal {
+				t.Errorf("total stalled: profiler %d != stats %d", rep.Stalls.TotalStalled, wantTotal)
+			}
+		})
+	}
+}

@@ -150,13 +150,33 @@ func (r *Runner) workload(s RunSpec) workloads.Workload {
 			// realistic).
 			n = p.GaussN32
 		}
+		if n < procs {
+			// Keep at least one matrix row per processor on machines
+			// larger than the preset sizes anticipated.
+			n = procs
+		}
 		return workloads.Gauss(procs, n, p.Seed)
 	case BQsort:
 		return workloads.Qsort(procs, p.QsortN, p.Seed)
 	case BRelax:
-		return workloads.Relax(procs, p.RelaxN, p.RelaxIters, s.RelaxSched, p.Seed)
+		n := p.RelaxN
+		if n < procs {
+			// Machines larger than the preset's grid: grow the grid so
+			// every processor owns at least one row.
+			n = procs
+		}
+		return workloads.Relax(procs, n, p.RelaxIters, s.RelaxSched, p.Seed)
 	case BPsim:
-		return workloads.Psim(procs, p.PsimPorts, p.PsimRefs, p.Seed)
+		ports := p.PsimPorts
+		if ports < procs {
+			// Machines larger than the preset's simulated network:
+			// scale the problem with the machine (four ports per
+			// processor, the benchmark's natural radix) instead of
+			// leaving processors past the port count with no packets
+			// to inject — workloads.Psim rejects that outright.
+			ports = 4 * procs
+		}
+		return workloads.Psim(procs, ports, p.PsimRefs, p.Seed)
 	}
 	panic(fmt.Sprintf("experiments: unknown benchmark %q", s.Bench))
 }

@@ -71,8 +71,8 @@ func (m *Machine) CheckCoherence() error {
 						return fmt.Errorf("line %#x exclusive in cache %d but directory says %s",
 							e.Line, h.cpu, e.State)
 					}
-					if e.State == "shared" && e.Sharers&(1<<uint(h.cpu)) == 0 {
-						return fmt.Errorf("line %#x held by cache %d missing from sharer set %b",
+					if e.State == "shared" && !e.Sharers.Has(h.cpu) {
+						return fmt.Errorf("line %#x held by cache %d missing from sharer set %v",
 							e.Line, h.cpu, e.Sharers)
 					}
 					if e.State == "uncached" {

@@ -81,7 +81,7 @@ func (m *Machine) Diagnostics(lastEvents int) string {
 			fmt.Fprintf(&sb, "  line %#x @ module %d: no entry\n", line, home)
 			continue
 		}
-		fmt.Fprintf(&sb, "  line %#x @ module %d: state=%s sharers=%#b owner=%d parked=%d\n",
+		fmt.Fprintf(&sb, "  line %#x @ module %d: state=%s sharers=%v owner=%d parked=%d\n",
 			line, home, e.State, e.Sharers, e.Owner, e.Pending)
 	}
 	if len(sorted) == 0 {

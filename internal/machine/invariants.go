@@ -82,8 +82,8 @@ func (m *Machine) CheckNow() *robust.SimError {
 				case h.state == cache.Exclusive && (e.State != "dirty" || e.Owner != h.cpu):
 					return fail(e.Line, "line exclusive in cache %d but directory says %s (owner %d)",
 						h.cpu, e.State, e.Owner)
-				case h.state == cache.Shared && e.State == "shared" && e.Sharers&(1<<uint(h.cpu)) == 0:
-					return fail(e.Line, "line held by cache %d missing from sharer set %#b", h.cpu, e.Sharers)
+				case h.state == cache.Shared && e.State == "shared" && !e.Sharers.Has(h.cpu):
+					return fail(e.Line, "line held by cache %d missing from sharer set %v", h.cpu, e.Sharers)
 				case h.state == cache.Shared && e.State == "uncached":
 					return fail(e.Line, "line held by cache %d but directory says uncached", h.cpu)
 				case h.state == cache.Shared && e.State == "dirty":

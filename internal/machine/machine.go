@@ -50,6 +50,13 @@ type Config struct {
 	// self-check (see consistency.Mutation). Excluded from Result
 	// checksums: a mutated run is never a golden run.
 	Mutate consistency.Mutation `json:"-"`
+
+	// NoSpinSkip disables spin fast-forward (cpu/spin.go), forcing
+	// every spin-wait iteration to execute live. Results are
+	// bit-identical either way — this knob exists for A/B verification
+	// of that claim and for wall-clock benchmarking, so it is excluded
+	// from Result checksums like Mutate. Fault injection implies it.
+	NoSpinSkip bool `json:"-"`
 }
 
 // withDefaults fills in the paper's default parameters.
@@ -85,6 +92,10 @@ func (c Config) validate() error {
 	}
 	if !powerOfTwo(c.Procs) {
 		return fmt.Errorf("machine: processor count %d not a power of two", c.Procs)
+	}
+	if c.Procs > memory.MaxCaches {
+		return fmt.Errorf("machine: processor count %d exceeds the directory's %d-cache sharer map",
+			c.Procs, memory.MaxCaches)
 	}
 	switch c.LineSize {
 	case 8, 16, 32, 64, 128:
@@ -312,6 +323,10 @@ func New(cfg Config, progs [][]isa.Inst) (*Machine, error) {
 			LoadDelay:   cfg.LoadDelay,
 			BranchDelay: cfg.BranchDelay,
 			MSHRs:       cfg.MSHRs,
+			// Fault injection stretches delivery timing, which invalidates
+			// spin fast-forward's iteration-boundary argument (cpu/spin.go);
+			// faulty machines run every spin iteration live.
+			NoSpinSkip: cfg.NoSpinSkip || cfg.Faults.Enabled(),
 			OnHalt: func(id int) {
 				m.tracer.Record(trace.Event{Cycle: m.Eng.Now(), Kind: trace.CPUHalt, Src: id})
 				m.halted++
@@ -603,10 +618,35 @@ func (m *Machine) startChecker() {
 func (m *Machine) totalInstructions() uint64 {
 	var n uint64
 	for _, c := range m.cpus {
-		n += c.Stats().Instructions
+		// Spin-parked processors credit their skipped iterations to Stats
+		// only at wake; count them now so a machine full of parked
+		// spinners does not look wedged to the watchdog.
+		n += c.Stats().Instructions + c.SpinVirtualInstrs()
 	}
 	return n
 }
+
+// SyncInstructions sums the program-level synchronization-instruction
+// counts across processors. Unlike Result.SyncOps — which counts only
+// operations the consistency model's hardware handled specially, and
+// is therefore zero by design under SC — this reflects the workload's
+// static instruction classes, so it stays nonzero whenever the program
+// synchronizes at all.
+func (m *Machine) SyncInstructions() uint64 {
+	var n uint64
+	for _, c := range m.cpus {
+		n += c.SyncInstrs()
+	}
+	return n
+}
+
+// ResultNow returns the statistics accumulated so far, whether or not
+// the machine has finished. It is meant for paused runs
+// (RunControl.Until / ErrPaused): bounded property probes on very
+// large configurations read the execution prefix's counters without
+// paying for a complete run. Cycles is the latest halt cycle, zero
+// while no processor has halted.
+func (m *Machine) ResultNow() Result { return m.result() }
 
 func (m *Machine) result() Result {
 	r := Result{

@@ -1,7 +1,6 @@
 package memory
 
 import (
-	"math/bits"
 
 	"memsim/internal/metrics"
 	"memsim/internal/robust"
@@ -44,8 +43,8 @@ const (
 // bookkeeping.
 type entry struct {
 	state   dirState
-	sharers uint64 // bitmask of caches holding the line (Shared)
-	owner   int    // exclusive owner (Dirty)
+	sharers SharerSet // caches holding the line (Shared)
+	owner   int       // exclusive owner (Dirty)
 
 	// Busy transaction state.
 	tx        txKind
@@ -108,7 +107,7 @@ type Module struct {
 	busyAct     busyAction
 	busyDst     int
 	busyMsg     Msg
-	busyTargets uint64
+	busyTargets SharerSet
 
 	// outq holds messages waiting for response-network buffer space,
 	// drained from outHead so steady-state sends never reslice.
@@ -266,11 +265,7 @@ func (m *Module) unbusy() {
 		m.enqueueOut(m.busyDst, m.busyMsg)
 	case actSendInv:
 		msg := m.busyMsg
-		for t, rest := 0, m.busyTargets; rest != 0; t, rest = t+1, rest>>1 {
-			if rest&1 != 0 {
-				m.enqueueOut(t, msg)
-			}
-		}
+		m.busyTargets.ForEach(func(t int) { m.enqueueOut(t, msg) })
 	}
 	m.kick()
 }
@@ -317,7 +312,7 @@ func (m *Module) processRead(r request, e *entry) {
 	switch e.state {
 	case uncached, sharedSt:
 		e.state = sharedSt
-		e.sharers |= 1 << uint(r.src)
+		e.sharers.Add(r.src)
 		m.serveData(r.src, Msg{DataShared, line})
 	case dirtySt:
 		// Recall the dirty line; the owner downgrades to Shared.
@@ -328,7 +323,9 @@ func (m *Module) processRead(r request, e *entry) {
 		e.requester = r.src
 		e.grant = DataShared
 		e.nextState = sharedSt
-		e.sharers = (1 << uint(owner)) | (1 << uint(r.src))
+		e.sharers = SharerSet{}
+		e.sharers.Add(owner)
+		e.sharers.Add(r.src)
 		m.busyDst = owner
 		m.busyMsg = Msg{RecallShare, line}
 		m.setBusy(LookupCycles, actSendOne)
@@ -347,11 +344,12 @@ func (m *Module) processWrite(r request, e *entry) {
 	case sharedSt:
 		// Invalidate every sharer except the requester (which dropped
 		// its own copy before requesting ownership), then grant.
-		others := e.sharers &^ (1 << uint(r.src))
-		if others == 0 {
+		others := e.sharers
+		others.Remove(r.src)
+		if others.Empty() {
 			e.state = dirtySt
 			e.owner = r.src
-			e.sharers = 0
+			e.sharers = SharerSet{}
 			m.serveData(r.src, Msg{DataExclusive, line})
 			return
 		}
@@ -360,9 +358,9 @@ func (m *Module) processWrite(r request, e *entry) {
 		e.requester = r.src
 		e.grant = DataExclusive
 		e.nextState = dirtySt
-		n := bits.OnesCount64(others)
+		n := others.Count()
 		e.acksLeft = n
-		e.sharers = 0
+		e.sharers = SharerSet{}
 		e.owner = r.src
 		m.stats.Invalidates += uint64(n)
 		m.busyMsg = Msg{Invalidate, line}
@@ -377,7 +375,7 @@ func (m *Module) processWrite(r request, e *entry) {
 		e.grant = DataExclusive
 		e.nextState = dirtySt
 		e.owner = r.src
-		e.sharers = 0
+		e.sharers = SharerSet{}
 		m.busyDst = owner
 		m.busyMsg = Msg{RecallInv, line}
 		m.setBusy(LookupCycles, actSendOne)
@@ -398,7 +396,7 @@ func (m *Module) processWriteBack(r request, e *entry) {
 		}
 		e.state = uncached
 		e.owner = 0
-		e.sharers = 0
+		e.sharers = SharerSet{}
 		m.setBusy(sim.Cycle(LookupCycles+InitiateCycles+m.words), actNone)
 	case busySt:
 		// Race: the directory recalled the line while this write-back
@@ -439,7 +437,10 @@ func (m *Module) completion(src int, msg Msg) {
 		case txAwaitAck:
 			e.acksLeft--
 			if e.acksLeft > 0 {
-				m.whenIdle(AckCycles)
+				// Acks are dispatched from the idle input queue, so the
+				// module is free to absorb each one directly; setBusy fails
+				// loudly if that invariant ever breaks.
+				m.setBusy(AckCycles, actNone)
 				return
 			}
 			m.finishTx(e, msg.Line)
@@ -457,13 +458,15 @@ func (m *Module) completion(src int, msg Msg) {
 // finishTx completes a busy transaction: the module writes/re-reads
 // RAM and grants the line to the requester. The grant's first word
 // leaves after lookup+initiation while the module stays busy streaming
-// the rest; parked requests replay once the line leaves Busy.
+// the rest; parked requests replay once the line leaves Busy. Like
+// every transition out of a directory transaction, it runs with the
+// module idle (completions dispatch from the input queue), so the
+// occupancy starts immediately — setBusy fails loudly otherwise.
 func (m *Module) finishTx(e *entry, line uint64) {
 	h := m.allocHead(e.requester, Msg{e.grant, line}, e, e.nextState)
 	e.tx = txNone
-	total := sim.Cycle(LookupCycles + InitiateCycles + m.words)
-	head := sim.Cycle(LookupCycles + InitiateCycles)
-	m.occupyWhenIdle(total, head, h)
+	m.setBusy(sim.Cycle(LookupCycles+InitiateCycles+m.words), actNone)
+	m.eng.AfterEvent(sim.Cycle(LookupCycles+InitiateCycles), h.fn, m.headDesc(h))
 }
 
 // replayPending re-injects requests parked behind a busy entry.
@@ -483,30 +486,6 @@ func (m *Module) replayPending(e *entry) {
 	m.inq = nq
 	m.inqHead = 0
 	m.kick()
-}
-
-// whenIdle occupies the module for d cycles as soon as it is free (it
-// may be busy finishing a previous occupancy).
-func (m *Module) whenIdle(d sim.Cycle) {
-	if !m.busy {
-		m.setBusy(d, actNone)
-		return
-	}
-	retry := m.evdesc(modEvWhenIdle)
-	retry.A = uint64(d)
-	m.eng.AfterEvent(1, func() { m.whenIdle(d) }, retry)
-}
-
-// occupyWhenIdle occupies the module for total cycles as soon as it is
-// free and fires the head event after the first head cycles of that
-// occupancy (when the first word of a line is ready to leave).
-func (m *Module) occupyWhenIdle(total, head sim.Cycle, h *headEvt) {
-	if !m.busy {
-		m.setBusy(total, actNone)
-		m.eng.AfterEvent(head, h.fn, m.headDesc(h))
-		return
-	}
-	m.eng.AfterEvent(1, func() { m.occupyWhenIdle(total, head, h) }, m.occupyDesc(total, head, h))
 }
 
 // enqueueOut hands a message to the response network, retrying when

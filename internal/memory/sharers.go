@@ -1,0 +1,68 @@
+package memory
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// MaxCaches is the largest cache (processor) index the directory can
+// track. It bounds SharerSet's fixed bitmap; machine.Config validation
+// enforces it so a shift past the map fails there, loudly, instead of
+// silently dropping sharers here (which is exactly the bug a plain
+// uint64 bitmask had above 64 processors).
+const MaxCaches = 256
+
+// SharerSet is the full-map directory's sharer bitmap. A fixed array
+// (rather than a slice) keeps entries comparable and copyable and
+// serializes directly in snapshots.
+type SharerSet [MaxCaches / 64]uint64
+
+// Add records cache i as a sharer.
+func (s *SharerSet) Add(i int) { s[i>>6] |= 1 << uint(i&63) }
+
+// Remove drops cache i from the set.
+func (s *SharerSet) Remove(i int) { s[i>>6] &^= 1 << uint(i&63) }
+
+// Has reports whether cache i is in the set.
+func (s SharerSet) Has(i int) bool { return s[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Empty reports whether no cache is in the set.
+func (s SharerSet) Empty() bool { return s == SharerSet{} }
+
+// Count returns the number of caches in the set.
+func (s SharerSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ForEach calls f for every cache in the set, in ascending order.
+func (s SharerSet) ForEach(f func(i int)) {
+	for wi, w := range s {
+		base := wi << 6
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(base + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// String renders the set as {i,j,...} for diagnostics.
+func (s SharerSet) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&sb, "%d", i)
+	})
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -7,7 +7,7 @@ import "fmt"
 type DirSnapshot struct {
 	Line    uint64
 	State   string // "uncached", "shared", "dirty", "busy"
-	Sharers uint64 // bitmask
+	Sharers SharerSet
 	Owner   int
 	Pending int // parked requests
 }

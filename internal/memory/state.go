@@ -15,12 +15,13 @@ const (
 	// modEvHead fires a line grant's head event. A = line, B = grant
 	// kind | hasEntry<<8 | nextState<<16, C = destination cache.
 	modEvHead
-	// modEvWhenIdle retries an occupy-when-idle of A cycles.
-	modEvWhenIdle
-	// modEvOccupy retries a transaction-completion occupancy.
-	// A = total | head<<32, B = line,
-	// C = dst | grant kind<<16 | hasEntry<<24 | nextState<<32.
-	modEvOccupy
+	// Kinds 3 (whenIdle retry) and 4 (occupy retry) are retired: the
+	// busy-retry paths they served were unreachable — completions and
+	// transaction finishes always dispatch from an idle input queue —
+	// and were removed. The values stay reserved so old snapshots that
+	// could never contain them fail loudly rather than misresolve.
+	_
+	_
 )
 
 func (m *Module) evdesc(kind uint8) sim.EventDesc {
@@ -36,19 +37,6 @@ func (m *Module) headDesc(h *headEvt) sim.EventDesc {
 		d.B |= 1 << 8
 	}
 	d.C = uint64(h.dst)
-	return d
-}
-
-// occupyDesc serializes a deferred occupy-when-idle retry together
-// with the head event it will fire.
-func (m *Module) occupyDesc(total, head sim.Cycle, h *headEvt) sim.EventDesc {
-	d := m.evdesc(modEvOccupy)
-	d.A = uint64(total) | uint64(head)<<32
-	d.B = h.msg.Line
-	d.C = uint64(h.dst) | uint64(h.msg.Kind)<<16 | uint64(h.next)<<32
-	if h.e != nil {
-		d.C |= 1 << 24
-	}
 	return d
 }
 
@@ -75,17 +63,6 @@ func (m *Module) RestoreEvent(d sim.EventDesc) (func(), error) {
 			return nil, err
 		}
 		return h.fn, nil
-	case modEvWhenIdle:
-		dur := sim.Cycle(d.A)
-		return func() { m.whenIdle(dur) }, nil
-	case modEvOccupy:
-		total := sim.Cycle(d.A & 0xffffffff)
-		head := sim.Cycle(d.A >> 32)
-		h, err := m.restoreHead(d.B, MsgKind(d.C>>16&0xff), d.C>>24&1 != 0, dirState(d.C>>32&0xff), int(d.C&0xffff))
-		if err != nil {
-			return nil, err
-		}
-		return func() { m.occupyWhenIdle(total, head, h) }, nil
 	}
 	return nil, fmt.Errorf("memory: unknown event kind %d", d.Kind)
 }
@@ -98,7 +75,7 @@ func (m *Module) DrainFunc() func() { return m.drainFn }
 type EntryState struct {
 	Line      uint64
 	State     uint8
-	Sharers   uint64
+	Sharers   SharerSet
 	Owner     int
 	Tx        uint8
 	AcksLeft  int
@@ -137,7 +114,7 @@ type ModuleState struct {
 	BusyAct     uint8
 	BusyDst     int
 	BusyMsg     Msg
-	BusyTargets uint64
+	BusyTargets SharerSet
 	Outq        []OutState
 	Stats       Stats
 }

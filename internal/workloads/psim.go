@@ -39,6 +39,15 @@ func Psim(procs, simPorts, refsPerPort int, seed int64) Workload {
 	if refsPerPort < 1 {
 		panic("workloads: Psim needs refsPerPort >= 1")
 	}
+	if procs > simPorts {
+		// The inject loop strides port indices by processor, so a
+		// processor whose id is past the port count would never inject
+		// a packet (and past simPorts/4, never service a switch):
+		// degenerate work distribution. Callers must scale the
+		// simulated network with the machine instead of running most
+		// processors empty.
+		panic(fmt.Sprintf("workloads: Psim with %d processors but only %d simulated ports leaves processors without work; use simPorts >= procs (e.g. 4*procs)", procs, simPorts))
+	}
 	switches := simPorts / 4 // per stage
 	const stages = 3
 	nq := stages * switches
